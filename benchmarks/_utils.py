@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one table or figure of the paper (see the
+per-experiment index in DESIGN.md).  Besides the pytest-benchmark timing, each
+benchmark prints the reproduced table to stdout **and** appends it to
+``benchmarks/output/<experiment>.txt`` so that EXPERIMENTS.md can quote the
+numbers from a file that any reader can regenerate with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+# Make the package importable when it is not pip-installed.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - import side effect
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis.tables import format_table  # noqa: E402
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+#: Benchmarks run each scenario exactly once: the quantity of interest is the
+#: *simulated stopping time* (rounds), not the wall-clock of the simulator, so
+#: repeated timing iterations would only burn time.
+PEDANTIC = dict(rounds=1, iterations=1, warmup_rounds=0)
+
+
+def report(experiment_id: str, title: str, rows: Sequence[Mapping[str, Any]],
+           notes: Sequence[str] = ()) -> str:
+    """Print the reproduced table and persist it under ``benchmarks/output``."""
+    text = format_table(list(rows), title=title)
+    if notes:
+        text += "\n" + "\n".join(f"* {note}" for note in notes)
+    print("\n" + text + "\n")
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{experiment_id}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return text

@@ -1,0 +1,125 @@
+"""Ablations of the design choices called out in DESIGN.md.
+
+Not a table in the paper, but each ablation isolates one modelling decision:
+
+* **action** — EXCHANGE (analysed in the paper) vs PUSH vs PULL for uniform AG;
+* **field size q** — the helpfulness probability is ≥ 1 − 1/q, so the stopping
+  time should be essentially flat in q beyond q = 2;
+* **spanning-tree protocol inside TAG** — BFS oracle vs uniform broadcast vs
+  round-robin broadcast vs IS on the barbell;
+* **phase interleaving in TAG** — faithful odd/even interleaving vs switching
+  every wakeup to phase 2 once the tree is complete (a constant-factor change).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _utils import PEDANTIC, report
+from repro.analysis import run_trials
+from repro.core import GossipAction, SimulationConfig
+from repro.gf import GF
+from repro.gossip import GossipEngine
+from repro.graphs import barbell_graph, ring_graph
+from repro.protocols import AlgebraicGossip, RoundRobinBroadcastTree, TagProtocol
+from repro.rlnc import Generation
+from repro.experiments import all_to_all_placement, default_config, tag_case
+
+TRIALS = 3
+N = 16
+
+
+def _action_ablation():
+    graph = ring_graph(N)
+    rows = []
+    for action in (GossipAction.EXCHANGE, GossipAction.PUSH, GossipAction.PULL):
+        config = SimulationConfig(action=action, max_rounds=500_000)
+
+        def factory(g, rng):
+            generation = Generation.random(GF(16), N, 2, rng)
+            return AlgebraicGossip(g, generation, all_to_all_placement(g), config, rng)
+
+        stats = run_trials(graph, factory, config, trials=TRIALS, seed=909)
+        rows.append({"action": action.value, "mean_rounds": round(stats.mean, 1),
+                     "p95_rounds": round(stats.whp, 1)})
+    return rows
+
+
+def _field_size_ablation():
+    graph = ring_graph(N)
+    rows = []
+    for q in (2, 4, 16, 256):
+        config = SimulationConfig(field_size=q, max_rounds=500_000)
+
+        def factory(g, rng):
+            generation = Generation.random(GF(q), N, 2, rng)
+            return AlgebraicGossip(g, generation, all_to_all_placement(g), config, rng)
+
+        stats = run_trials(graph, factory, config, trials=TRIALS, seed=910)
+        rows.append({"q": q, "mean_rounds": round(stats.mean, 1),
+                     "p95_rounds": round(stats.whp, 1)})
+    return rows
+
+
+def _tree_protocol_ablation():
+    rows = []
+    for stp in ("bfs_oracle", "uniform_broadcast", "brr", "is"):
+        case = tag_case("barbell", N, N, spanning_tree=stp,
+                        config=default_config(max_rounds=500_000))
+        stats = run_trials(case.graph, case.protocol_factory, case.config,
+                           trials=TRIALS, seed=911)
+        rows.append({"spanning_tree": stp, "mean_rounds": round(stats.mean, 1),
+                     "p95_rounds": round(stats.whp, 1)})
+    return rows
+
+
+def _interleaving_ablation():
+    graph = barbell_graph(N)
+    config = SimulationConfig(max_rounds=500_000)
+    rows = []
+    for keep_phase1, label in ((True, "faithful odd/even interleave"),
+                               (False, "phase 2 only after tree completes")):
+        rounds = []
+        for seed in range(TRIALS):
+            rng = np.random.default_rng(seed)
+            generation = Generation.random(GF(16), N, 2, rng)
+            process = TagProtocol(
+                graph, generation, all_to_all_placement(graph), config, rng,
+                lambda g, r: RoundRobinBroadcastTree(g, 0, r),
+                keep_phase1_after_tree=keep_phase1,
+            )
+            rounds.append(GossipEngine(graph, process, config, rng).run().rounds)
+        rows.append({"variant": label, "mean_rounds": round(float(np.mean(rounds)), 1)})
+    return rows
+
+
+def test_ablation_action(benchmark):
+    rows = benchmark.pedantic(_action_ablation, **PEDANTIC)
+    report("ablation-action", f"Ablation — gossip action, uniform AG on ring({N}), k=n", rows)
+    means = {row["action"]: row["mean_rounds"] for row in rows}
+    assert means["exchange"] <= means["push"]
+    assert means["exchange"] <= means["pull"]
+
+
+def test_ablation_field_size(benchmark):
+    rows = benchmark.pedantic(_field_size_ablation, **PEDANTIC)
+    report("ablation-field-size", f"Ablation — RLNC field size q, uniform AG on ring({N})", rows,
+           notes=["The theory predicts only a (1 - 1/q) effect: q=2 may be slightly "
+                  "slower, larger q essentially flat."])
+    means = [row["mean_rounds"] for row in rows]
+    assert max(means) <= 2.0 * min(means)
+
+
+def test_ablation_tree_protocol(benchmark):
+    rows = benchmark.pedantic(_tree_protocol_ablation, **PEDANTIC)
+    report("ablation-tree-protocol", f"Ablation — spanning-tree protocol inside TAG, barbell({N})", rows)
+    assert all(row["mean_rounds"] > 0 for row in rows)
+
+
+def test_ablation_phase_interleaving(benchmark):
+    rows = benchmark.pedantic(_interleaving_ablation, **PEDANTIC)
+    report("ablation-interleaving", f"Ablation — TAG phase interleaving, barbell({N}), k=n", rows,
+           notes=["Dropping phase-1 steps after the tree completes can only help, "
+                  "and only by a constant factor."])
+    faithful, eager = rows[0]["mean_rounds"], rows[1]["mean_rounds"]
+    assert eager <= faithful * 1.2

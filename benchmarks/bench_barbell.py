@@ -1,0 +1,71 @@
+"""E8 — the barbell worst case (Section 1.1): uniform AG vs TAG.
+
+The barbell graph is the paper's canonical example of a topology with a severe
+bottleneck: uniform algebraic gossip needs Ω(n²) rounds for all-to-all, while
+TAG + B_RR needs only Θ(n), so the speed-up ratio grows like n.  The
+reproduced series sweeps ``n`` with ``k = n`` and reports both protocols'
+stopping times, their ratio, and the fitted growth exponents.
+"""
+
+from __future__ import annotations
+
+from _utils import PEDANTIC, report
+from repro.analysis import fit_power_law, run_sweep
+from repro.experiments import default_config, tag_case, uniform_ag_case
+
+TRIALS = 2
+SIZES = [8, 12, 16, 24, 32]
+
+
+def _run():
+    config = default_config(max_rounds=1_000_000)
+    uniform_points = run_sweep(
+        [
+            uniform_ag_case("barbell", n, n, config=config, label=f"uniform n={n}", value=n)
+            for n in SIZES
+        ],
+        trials=TRIALS,
+        seed=808,
+    )
+    tag_points = run_sweep(
+        [
+            tag_case("barbell", n, n, spanning_tree="brr", config=config,
+                     label=f"tag n={n}", value=n)
+            for n in SIZES
+        ],
+        trials=TRIALS,
+        seed=809,
+    )
+    rows = []
+    for uniform, tag in zip(uniform_points, tag_points):
+        rows.append(
+            {
+                "n": int(uniform.value),
+                "uniform_ag_mean": round(uniform.mean, 1),
+                "tag_brr_mean": round(tag.mean, 1),
+                "speedup": round(uniform.mean / tag.mean, 2),
+            }
+        )
+    uniform_fit = fit_power_law(SIZES, [p.mean for p in uniform_points])
+    tag_fit = fit_power_law(SIZES, [p.mean for p in tag_points])
+    return rows, uniform_fit, tag_fit
+
+
+def test_barbell_speedup(benchmark):
+    rows, uniform_fit, tag_fit = benchmark.pedantic(_run, **PEDANTIC)
+    report(
+        "E8-barbell",
+        f"Barbell worst case — uniform AG vs TAG + B_RR, k = n ({TRIALS} trials)",
+        rows,
+        notes=[
+            f"uniform AG growth exponent: {uniform_fit.exponent:.2f} "
+            f"(the Ω(n²) regime predicts → 2 as n grows)",
+            f"TAG + B_RR growth exponent: {tag_fit.exponent:.2f} (Θ(n) predicts ≈ 1)",
+            "speedup = uniform / TAG; the paper predicts it grows like n.",
+        ],
+    )
+    # Qualitative shape: uniform AG grows strictly faster than TAG and the
+    # speed-up at the largest size clearly exceeds the speed-up at the smallest.
+    assert uniform_fit.exponent > tag_fit.exponent
+    assert rows[-1]["speedup"] > rows[0]["speedup"]
+    assert rows[-1]["speedup"] > 1.0

@@ -1,0 +1,79 @@
+"""E10 — RLNC substrate micro-benchmarks.
+
+These are the only benchmarks where the *wall-clock* of our implementation is
+the measured quantity (everything else measures simulated rounds).  They
+document how expensive the finite-field and decoder operations are in pure
+Python/numpy — the practical constraint that caps the simulation sizes used in
+the other benchmarks (the "field ops slow at scale" caveat of the repro notes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _utils import report
+from repro.gf import GF
+from repro.rlnc import Generation, RlncDecoder, encode_from_decoder
+
+
+@pytest.mark.parametrize("order", [2, 16, 256])
+def test_field_vector_ops_throughput(benchmark, order):
+    field = GF(order)
+    rng = np.random.default_rng(0)
+    a = field.random_elements(rng, 4096)
+    b = field.random_elements(rng, 4096)
+
+    def kernel():
+        return field.add(field.mul(a, b), a)
+
+    benchmark(kernel)
+
+
+@pytest.mark.parametrize("order,k", [(2, 32), (16, 32), (256, 32), (16, 128)])
+def test_decoder_fill_throughput(benchmark, order, k):
+    """Time to bring one decoder from rank 0 to rank k with random packets."""
+    field = GF(order)
+    rng = np.random.default_rng(1)
+    generation = Generation.random(field, k, 4, rng)
+    source = RlncDecoder(field, k, 4)
+    for index in range(k):
+        source.add_source_message(index, generation.payload_matrix[index])
+    packets = []
+    while len(packets) < 3 * k:
+        packets.append(encode_from_decoder(source, rng))
+
+    def kernel():
+        sink = RlncDecoder(field, k, 4)
+        for packet in packets:
+            sink.receive(packet)
+            if sink.is_complete:
+                break
+        return sink.rank
+
+    rank = benchmark(kernel)
+    assert rank == k
+
+
+def test_decode_full_generation(benchmark):
+    """Time of the final solve step (decode) at k = 64 over GF(16)."""
+    field = GF(16)
+    rng = np.random.default_rng(2)
+    k = 64
+    generation = Generation.random(field, k, 8, rng)
+    decoder = RlncDecoder(field, k, 8)
+    for index in range(k):
+        decoder.add_source_message(index, generation.payload_matrix[index])
+
+    result = benchmark(decoder.decode)
+    assert result.shape == (k, 8)
+    report(
+        "E10-field-ops",
+        "RLNC substrate micro-benchmarks (see pytest-benchmark table for timings)",
+        [
+            {
+                "kernel": "decoder fill / field ops / decode",
+                "note": "timings reported by pytest-benchmark; no simulated quantity",
+            }
+        ],
+    )

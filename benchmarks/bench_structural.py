@@ -1,0 +1,53 @@
+"""E9 — structural facts used by the proofs: Claim 1 and Lemma 2.
+
+Not a table in the paper, but both facts gate the main theorems, so the
+benchmark sweeps the topology families and records the measured diameter /
+path-degree-sum against the claimed bounds.
+"""
+
+from __future__ import annotations
+
+from _utils import PEDANTIC, report
+from repro.analysis import claim1_min_diameter, lemma2_path_degree_bound
+from repro.graphs import (
+    build_topology,
+    diameter,
+    max_degree,
+    max_shortest_path_degree_sum,
+)
+
+FAMILIES = ["line", "ring", "grid", "binary_tree", "barbell", "complete", "random_regular"]
+SIZES = [16, 32, 64]
+
+
+def _run():
+    rows = []
+    for family in FAMILIES:
+        for n in SIZES:
+            graph = build_topology(family, n)
+            actual_n = graph.number_of_nodes()
+            delta = max_degree(graph)
+            rows.append(
+                {
+                    "graph": family,
+                    "n": actual_n,
+                    "max_degree": delta,
+                    "diameter": diameter(graph),
+                    "claim1_min_diameter": round(claim1_min_diameter(actual_n, delta), 2),
+                    "path_degree_sum": max_shortest_path_degree_sum(graph, source=0),
+                    "lemma2_bound_3n": lemma2_path_degree_bound(actual_n),
+                }
+            )
+    return rows
+
+
+def test_structural_claims(benchmark):
+    rows = benchmark.pedantic(_run, **PEDANTIC)
+    report(
+        "E9-structural",
+        "Claim 1 (D ≥ log_Δ n − 2) and Lemma 2 (Σ degrees on a shortest path ≤ 3n)",
+        rows,
+    )
+    for row in rows:
+        assert row["diameter"] >= row["claim1_min_diameter"]
+        assert row["path_degree_sum"] <= row["lemma2_bound_3n"]

@@ -1,0 +1,62 @@
+"""E6 — Table 2: comparison of this paper's bound with Haeupler's.
+
+Reproduces the three rows of Table 2 (line, grid, binary tree): both bound
+expressions are evaluated on real constructed graphs (measuring ``γ`` and
+``λ`` from the graph), the improvement factor is reported, and — going beyond
+the paper's purely analytic table — the *measured* uniform-AG stopping time is
+put next to both bounds to show which one tracks reality more closely.
+"""
+
+from __future__ import annotations
+
+from _utils import PEDANTIC, report
+from repro.analysis import run_trials, table2_rows
+from repro.core import SimulationConfig
+from repro.gf import GF
+from repro.graphs import binary_tree_graph, grid_graph, line_graph
+from repro.protocols import AlgebraicGossip
+from repro.rlnc import Generation
+from repro.experiments import all_to_all_placement
+
+N = 32
+TRIALS = 3
+_BUILDERS = {"line": line_graph, "grid": grid_graph, "binary_tree": binary_tree_graph}
+
+
+def _measure(builder):
+    graph = builder(N)
+    n = graph.number_of_nodes()
+    config = SimulationConfig(max_rounds=500_000)
+
+    def factory(g, rng):
+        generation = Generation.random(GF(16), n, 2, rng)
+        return AlgebraicGossip(g, generation, all_to_all_placement(g), config, rng)
+
+    return run_trials(graph, factory, config, trials=TRIALS, seed=606).mean
+
+
+def _run():
+    rows = table2_rows(N, N)
+    for row in rows:
+        row["measured_rounds"] = round(_measure(_BUILDERS[row["graph"]]), 1)
+    return rows
+
+
+def test_table2_comparison(benchmark):
+    rows = benchmark.pedantic(_run, **PEDANTIC)
+    report(
+        "E6-table2",
+        f"Table 2 — O((k + log n + D)Δ) [this paper] vs O(k/γ + log²n/λ) [Haeupler], "
+        f"k = n = {N} (γ, λ measured on the constructed graphs)",
+        rows,
+        notes=[
+            "improvement_factor = haeupler_bound / our_bound; the paper predicts "
+            "log²n for line and grid and Ω(n log n / k) for the binary tree.",
+            "measured_rounds is the mean uniform-AG stopping time over "
+            f"{TRIALS} trials — both bounds must sit above it.",
+        ],
+    )
+    for row in rows:
+        assert row["improvement_factor"] >= 1.0
+        assert row["measured_rounds"] <= row["our_bound"]
+        assert row["measured_rounds"] <= row["haeupler_bound"]

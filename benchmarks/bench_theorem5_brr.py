@@ -1,0 +1,105 @@
+"""E4b — Theorem 5: the round-robin broadcast ``B_RR`` finishes in O(n) rounds.
+
+Sweeps ``n`` on several topologies and reports the broadcast completion time
+(and the depth of the resulting spanning tree) against the explicit ``3n``
+bound for the synchronous model and a constant·n bound for the asynchronous
+model.  Also checks Lemma 2 structurally: the degree sum along any shortest
+path from the root is at most ``3n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _utils import PEDANTIC, report
+from repro.analysis import brr_broadcast_upper_bound
+from repro.core import SimulationConfig, TimeModel
+from repro.gossip import GossipEngine
+from repro.graphs import (
+    barbell_graph,
+    build_topology,
+    max_shortest_path_degree_sum,
+)
+from repro.protocols import RoundRobinBroadcastTree
+
+TRIALS = 3
+TOPOLOGIES = ["line", "grid", "barbell", "complete", "binary_tree"]
+N = 32
+
+
+def _broadcast_rows(time_model: TimeModel):
+    rows = []
+    for topology in TOPOLOGIES:
+        graph = build_topology(topology, N)
+        n = graph.number_of_nodes()
+        config = SimulationConfig(time_model=time_model, max_rounds=100 * n)
+        rounds, depths = [], []
+        for seed in range(TRIALS):
+            rng = np.random.default_rng(seed)
+            protocol = RoundRobinBroadcastTree(graph, root=0, rng=rng)
+            result = GossipEngine(graph, protocol, config, rng).run()
+            rounds.append(result.rounds)
+            depths.append(protocol.current_tree().depth)
+        rows.append(
+            {
+                "graph": topology,
+                "n": n,
+                "mean_rounds": round(float(np.mean(rounds)), 1),
+                "max_rounds": int(np.max(rounds)),
+                "tree_depth": int(np.max(depths)),
+                "bound_3n": int(brr_broadcast_upper_bound(n)),
+                "lemma2_path_degree_sum": max_shortest_path_degree_sum(graph, source=0),
+            }
+        )
+    return rows
+
+
+@pytest.mark.parametrize("time_model", [TimeModel.SYNCHRONOUS, TimeModel.ASYNCHRONOUS])
+def test_theorem5_brr_broadcast_linear(benchmark, time_model):
+    rows = benchmark.pedantic(_broadcast_rows, args=(time_model,), **PEDANTIC)
+    report(
+        f"E4b-brr-broadcast-{time_model.value}",
+        f"Theorem 5 — round-robin broadcast B_RR stopping time, {time_model.value} (n≈{N})",
+        rows,
+        notes=[
+            "Synchronous: at most 3n rounds deterministically; asynchronous: O(n) "
+            "rounds with exponentially high probability (we allow a 4x constant).",
+            "lemma2_path_degree_sum ≤ 3n certifies the structural lemma the proof uses.",
+        ],
+    )
+    for row in rows:
+        limit = row["bound_3n"] if time_model is TimeModel.SYNCHRONOUS else 4 * row["bound_3n"]
+        assert row["max_rounds"] <= limit
+        assert row["lemma2_path_degree_sum"] <= 3 * row["n"]
+
+
+def test_theorem5_brr_scaling_with_n(benchmark):
+    def _run():
+        rows = []
+        for n in (16, 32, 48, 64):
+            graph = barbell_graph(n)
+            config = SimulationConfig(max_rounds=100 * n)
+            rounds = []
+            for seed in range(TRIALS):
+                rng = np.random.default_rng(seed)
+                protocol = RoundRobinBroadcastTree(graph, root=0, rng=rng)
+                rounds.append(GossipEngine(graph, protocol, config, rng).run().rounds)
+            rows.append(
+                {
+                    "n": graph.number_of_nodes(),
+                    "mean_rounds": round(float(np.mean(rounds)), 1),
+                    "bound_3n": int(brr_broadcast_upper_bound(graph.number_of_nodes())),
+                    "ratio": round(float(np.mean(rounds)) / (3 * graph.number_of_nodes()), 3),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(_run, **PEDANTIC)
+    report(
+        "E4b-brr-scaling",
+        "Theorem 5 — B_RR broadcast on the barbell, n sweep (synchronous)",
+        rows,
+        notes=["The ratio to 3n must stay bounded (the O(n) claim)."],
+    )
+    assert all(row["ratio"] <= 1.0 for row in rows)

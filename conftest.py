@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Puts ``src/`` on ``sys.path`` so the test suite and the benchmark harness work
+even when the package has not been pip-installed (useful in offline
+environments where editable installs need extra flags).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+All project metadata lives in ``pyproject.toml``; this shim exists so the
+package can also be installed in environments whose tooling predates PEP 660
+editable wheels (``pip install -e . --no-use-pep517 --no-build-isolation`` or
+``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,163 @@
+"""Closed-form bound evaluators for every theorem in the paper.
+
+Each function evaluates the *expression inside the O(·)* of a theorem, with
+all constants set to 1 unless the paper gives explicit constants.  Benchmarks
+and tests compare the measured stopping times against these expressions in
+terms of shape: the measured time divided by the bound should stay bounded as
+``n`` and ``k`` grow, and order-optimality claims (``Θ``) additionally need
+the matching lower bound to scale the same way.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import AnalysisError
+
+__all__ = [
+    "log2ceil",
+    "uniform_ag_upper_bound",
+    "constant_degree_upper_bound",
+    "k_dissemination_lower_bound",
+    "tag_upper_bound",
+    "tag_broadcast_upper_bound",
+    "brr_broadcast_upper_bound",
+    "tag_with_brr_upper_bound",
+    "is_protocol_upper_bound",
+    "tag_with_is_upper_bound",
+    "haeupler_upper_bound",
+    "theorem2_bound_rounds",
+    "lemma1_tree_gossip_bound",
+    "claim1_min_diameter",
+    "lemma2_path_degree_bound",
+]
+
+
+def _require_positive(**values: float) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise AnalysisError(f"{name} must be positive, got {value}")
+
+
+def log2ceil(n: int) -> int:
+    """``ceil(log2 n)`` with ``log2ceil(1) = 1`` (the bounds treat log n as ≥ 1)."""
+    if n < 1:
+        raise AnalysisError(f"n must be at least 1, got {n}")
+    return max(1, math.ceil(math.log2(n)))
+
+
+def uniform_ag_upper_bound(n: int, k: int, diameter: int, max_degree: int) -> float:
+    """Theorem 1: uniform algebraic gossip finishes in ``O((k + log n + D) Δ)`` rounds."""
+    _require_positive(n=n, k=k, diameter=diameter, max_degree=max_degree)
+    return (k + math.log(n) + diameter) * max_degree
+
+
+def constant_degree_upper_bound(k: int, diameter: int) -> float:
+    """Theorem 3 (upper part): ``O(k + D)`` for constant-maximum-degree graphs.
+
+    Claim 1 gives ``D = Ω(log n)`` for such graphs, so the ``log n`` term of
+    Theorem 1 is absorbed into ``D``.
+    """
+    _require_positive(k=k, diameter=diameter)
+    return float(k + diameter)
+
+
+def k_dissemination_lower_bound(k: int, diameter: int, *, synchronous: bool) -> float:
+    """Theorem 3 (lower part): every gossip k-dissemination needs ``Ω(k)`` rounds,
+    and additionally ``Ω(D)`` in the synchronous model (``Ω(k + D)`` overall)."""
+    _require_positive(k=k, diameter=diameter)
+    if synchronous:
+        return k / 2.0 + diameter / 2.0
+    return k / 2.0
+
+
+def tag_upper_bound(n: int, k: int, tree_diameter: int, tree_time: float) -> float:
+    """Theorem 4: ``t(TAG) = O(k + log n + d(S) + t(S))`` rounds."""
+    _require_positive(n=n, k=k)
+    if tree_diameter < 0 or tree_time < 0:
+        raise AnalysisError("tree_diameter and tree_time must be non-negative")
+    return k + math.log(n) + tree_diameter + tree_time
+
+
+def tag_broadcast_upper_bound(n: int, k: int, broadcast_time: float) -> float:
+    """Equation (3): with a broadcast protocol B in the synchronous model,
+    ``t(TAG) = O(k + log n + t(B))`` because ``d(B) ≤ t(B)``."""
+    _require_positive(n=n, k=k)
+    if broadcast_time < 0:
+        raise AnalysisError("broadcast_time must be non-negative")
+    return k + math.log(n) + broadcast_time
+
+
+def brr_broadcast_upper_bound(n: int) -> float:
+    """Theorem 5: the round-robin broadcast ``B_RR`` finishes in ``O(n)`` rounds
+    (at most ``3n`` rounds deterministically in the synchronous model)."""
+    _require_positive(n=n)
+    return 3.0 * n
+
+
+def tag_with_brr_upper_bound(n: int, k: int) -> float:
+    """Section 5: TAG with ``B_RR`` — ``O(k + log n + n)``, which is ``Θ(n)`` for ``k = Ω(n)``."""
+    return tag_broadcast_upper_bound(n, k, brr_broadcast_upper_bound(n))
+
+
+def is_protocol_upper_bound(n: int, c: float, weak_conductance: float, delta: float = 0.1) -> float:
+    """Theorem 6 ([5, Thm 4.1]): the IS protocol completes in
+    ``O(c ((log n + log δ⁻¹) / Φ_c + c))`` rounds with probability ≥ 1 − 3cδ."""
+    _require_positive(n=n, c=c, weak_conductance=weak_conductance, delta=delta)
+    return c * ((math.log(n) + math.log(1.0 / delta)) / weak_conductance + c)
+
+
+def tag_with_is_upper_bound(
+    n: int, k: int, c: float, weak_conductance: float, delta: float = 0.1
+) -> float:
+    """Theorems 7/8: TAG with the IS protocol — ``O(k + log n + t(IS) (+ d(IS)))``.
+
+    Theorem 7 states that for ``c = O(log^p n)``, ``Φ_c = Ω(1/log^p n)`` and
+    ``k = Ω(log^{2p+1} n)`` the total is ``Θ(k)``; this function returns the
+    upper-bound expression so callers can check that the ``k`` term dominates.
+    """
+    t_is = is_protocol_upper_bound(n, c, weak_conductance, delta)
+    return tag_broadcast_upper_bound(n, k, t_is)
+
+
+def haeupler_upper_bound(k: int, gamma: float, lam: float, n: int) -> float:
+    """Haeupler's bound from Table 2: ``O(k / γ + log² n / λ)`` rounds.
+
+    ``γ`` is the min-cut probability measure and ``λ`` a conductance measure of
+    the gossip graph; Table 2 of the paper evaluates this expression on the
+    line, grid and binary tree to compare against Theorem 1.
+    """
+    _require_positive(k=k, gamma=gamma, lam=lam, n=n)
+    return k / gamma + (math.log(n) ** 2) / lam
+
+
+def theorem2_bound_rounds(k: int, depth: int, n: int, mu_per_round: float) -> float:
+    """Theorem 2 restated in rounds: ``O((k + l_max + log n) / μ)`` with ``μ`` per round."""
+    _require_positive(k=k, n=n, mu_per_round=mu_per_round)
+    if depth < 0:
+        raise AnalysisError("depth must be non-negative")
+    return (k + depth + math.log(n)) / mu_per_round
+
+
+def lemma1_tree_gossip_bound(n: int, k: int, depth: int) -> float:
+    """Lemma 1: algebraic gossip on a tree with fixed parent partners finishes in
+    ``O(k + log n + l_max)`` rounds."""
+    _require_positive(n=n, k=k)
+    if depth < 0:
+        raise AnalysisError("depth must be non-negative")
+    return k + math.log(n) + depth
+
+
+def claim1_min_diameter(n: int, max_degree: int) -> float:
+    """Claim 1: a connected graph with maximum degree Δ has ``D ≥ log_Δ(n) − 2``."""
+    _require_positive(n=n, max_degree=max_degree)
+    if max_degree < 2:
+        # A connected graph with Δ ≤ 1 has at most 2 nodes; its diameter is n - 1.
+        return float(n - 1)
+    return math.log(n, max_degree) - 2.0
+
+
+def lemma2_path_degree_bound(n: int) -> int:
+    """Lemma 2: the sum of degrees along any shortest path is at most ``3n``."""
+    _require_positive(n=n)
+    return 3 * n

@@ -1,0 +1,136 @@
+"""Parameter sweeps: measure how the stopping time scales with ``n`` or ``k``.
+
+A sweep is a list of *cases*.  Each case knows how to build its graph, its
+protocol factory and its configuration; the sweep runner executes every case
+for a number of independent trials and returns one :class:`SweepPoint` per
+case, carrying the stopping-time statistics plus whatever bound values the
+case attaches.  The benchmark harness prints sweeps as the rows/series of the
+paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import networkx as nx
+
+from ..core.config import SimulationConfig
+from ..core.results import StoppingTimeStats
+from ..errors import AnalysisError
+from .stopping_time import ProtocolFactory, run_trials
+
+__all__ = ["SweepCase", "SweepPoint", "run_sweep", "scaling_table"]
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One point of a parameter sweep.
+
+    Attributes
+    ----------
+    label:
+        Human-readable identifier (e.g. ``"n=64"`` or ``"k=32"``).
+    value:
+        The swept parameter's numeric value (used for scaling fits).
+    graph:
+        The communication graph for this case.
+    protocol_factory:
+        Builds a fresh protocol per trial.
+    config:
+        Simulation configuration for this case.
+    bounds:
+        Named bound values evaluated for this case (e.g.
+        ``{"theorem1": 412.0, "lower": 36.0}``); copied into the sweep point.
+    """
+
+    label: str
+    value: float
+    graph: nx.Graph
+    protocol_factory: ProtocolFactory
+    config: SimulationConfig
+    bounds: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Result of one sweep case: the measured statistics plus the attached bounds."""
+
+    label: str
+    value: float
+    stats: StoppingTimeStats
+    bounds: dict[str, float]
+
+    @property
+    def mean(self) -> float:
+        return self.stats.mean
+
+    @property
+    def whp(self) -> float:
+        return self.stats.whp
+
+    def ratio_to(self, bound_name: str) -> float:
+        """``measured (p95) / bound`` — should stay O(1) across the sweep if the bound holds."""
+        try:
+            bound = self.bounds[bound_name]
+        except KeyError:
+            raise AnalysisError(
+                f"no bound named {bound_name!r}; available: {sorted(self.bounds)}"
+            ) from None
+        if bound <= 0:
+            raise AnalysisError(f"bound {bound_name!r} must be positive, got {bound}")
+        return self.stats.whp / bound
+
+
+def run_sweep(
+    cases: Sequence[SweepCase], *, trials: int = 5, seed: int = 0
+) -> list[SweepPoint]:
+    """Execute every case of a sweep and return one point per case."""
+    if not cases:
+        raise AnalysisError("run_sweep requires at least one case")
+    points: list[SweepPoint] = []
+    for index, case in enumerate(cases):
+        stats = run_trials(
+            case.graph,
+            case.protocol_factory,
+            case.config,
+            trials=trials,
+            seed=seed + index * 10_007,
+        )
+        points.append(
+            SweepPoint(
+                label=case.label,
+                value=case.value,
+                stats=stats,
+                bounds=dict(case.bounds),
+            )
+        )
+    return points
+
+
+def scaling_table(
+    points: Sequence[SweepPoint],
+    *,
+    bound_names: Sequence[str] = (),
+    value_header: str = "value",
+) -> list[dict[str, Any]]:
+    """Turn sweep points into table rows (list of dicts) for reporting.
+
+    Each row carries the swept value, the mean / p95 stopping times, and one
+    ``<bound>`` plus ``ratio(<bound>)`` column per requested bound name.
+    """
+    rows: list[dict[str, Any]] = []
+    for point in points:
+        row: dict[str, Any] = {
+            value_header: point.value,
+            "label": point.label,
+            "mean_rounds": round(point.mean, 2),
+            "p95_rounds": round(point.whp, 2),
+            "trials": point.stats.trials,
+        }
+        for name in bound_names:
+            row[name] = round(point.bounds.get(name, float("nan")), 2)
+            if name in point.bounds:
+                row[f"ratio({name})"] = round(point.ratio_to(name), 3)
+        rows.append(row)
+    return rows

@@ -1,0 +1,132 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows:
+
+``run``
+    One dissemination run on a named topology with a chosen protocol::
+
+        python -m repro run --topology barbell --n 24 --protocol tag --seed 3
+
+``experiment``
+    Execute a registered experiment (E1–E8 or a user-registered one) and print
+    its table::
+
+        python -m repro experiment E2-constant-degree --trials 2
+
+``tables``
+    Print the analytic reproduction of the paper's Table 1 and Table 2 for a
+    chosen ``n`` and ``k``::
+
+        python -m repro tables --n 32 --k 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import format_table, table1_rows, table2_rows
+from .core import TimeModel
+from .errors import ReproError
+from .experiments import EXPERIMENTS, run_experiment
+from .graphs import TOPOLOGY_BUILDERS, build_topology
+from . import quick_run
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Order Optimal Information Spreading Using "
+            "Algebraic Gossip' (Avin et al., PODC 2011)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one gossip dissemination")
+    run_parser.add_argument("--topology", choices=sorted(TOPOLOGY_BUILDERS), default="ring")
+    run_parser.add_argument("--n", type=int, default=16, help="number of nodes (approximate)")
+    run_parser.add_argument("--k", type=int, default=None,
+                            help="number of messages (default: n, i.e. all-to-all)")
+    run_parser.add_argument("--protocol", choices=["uniform", "tag", "tag-is"],
+                            default="uniform")
+    run_parser.add_argument("--time-model", choices=[m.value for m in TimeModel],
+                            default=TimeModel.SYNCHRONOUS.value)
+    run_parser.add_argument("--field-size", type=int, default=16)
+    run_parser.add_argument("--seed", type=int, default=0)
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="run a registered experiment and print its table"
+    )
+    experiment_parser.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
+    experiment_parser.add_argument("--trials", type=int, default=None)
+    experiment_parser.add_argument("--seed", type=int, default=0)
+
+    tables_parser = subparsers.add_parser(
+        "tables", help="print the analytic Table 1 and Table 2 reproductions"
+    )
+    tables_parser.add_argument("--n", type=int, default=32)
+    tables_parser.add_argument("--k", type=int, default=16)
+
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    result = quick_run(
+        args.topology,
+        n=args.n,
+        k=args.k,
+        protocol=args.protocol,
+        time_model=TimeModel(args.time_model),
+        field_size=args.field_size,
+        seed=args.seed,
+    )
+    print(f"{args.protocol} on {args.topology}: {result.summary()}")
+    for key, value in sorted(result.metadata.items()):
+        print(f"  {key}: {value}")
+    return 0 if result.completed else 1
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment_id, trials=args.trials, seed=args.seed)
+    print(result.experiment.description)
+    print(format_table(result.rows, title=args.experiment_id))
+    return 0
+
+
+def _command_tables(args: argparse.Namespace) -> int:
+    graphs = {
+        "ring": build_topology("ring", args.n),
+        "grid": build_topology("grid", args.n),
+        "complete": build_topology("complete", args.n),
+    }
+    print(format_table(table1_rows(args.n, args.k, graphs=graphs),
+                       title=f"Table 1 (analytic), n={args.n}, k={args.k}"))
+    print()
+    print(format_table(table2_rows(args.n, args.k),
+                       title=f"Table 2 (analytic + measured graph parameters), n={args.n}, k={args.k}"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "experiment": _command_experiment,
+        "tables": _command_tables,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Core simulation kernel: configuration, results and random-number streams."""
+
+from .config import GossipAction, SimulationConfig, TimeModel
+from .results import RunResult, StoppingTimeStats, aggregate_results
+from .rng import DEFAULT_SEED, RngStreams, derive_rng, derive_seed, make_rng, spawn_rngs
+
+__all__ = [
+    "GossipAction",
+    "SimulationConfig",
+    "TimeModel",
+    "RunResult",
+    "StoppingTimeStats",
+    "aggregate_results",
+    "DEFAULT_SEED",
+    "RngStreams",
+    "derive_rng",
+    "derive_seed",
+    "make_rng",
+    "spawn_rngs",
+]

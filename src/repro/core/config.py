@@ -1,0 +1,156 @@
+"""Simulation configuration objects.
+
+The paper studies gossip protocols along several orthogonal axes:
+
+* the **time model** — synchronous rounds versus asynchronous timeslots
+  (Section 2 of the paper; ``n`` timeslots are counted as one round),
+* the **gossip action** — ``PUSH``, ``PULL`` or ``EXCHANGE``,
+* the **communication model** — uniform neighbour selection, round-robin
+  (quasirandom) selection, or a fixed partner (used on spanning trees),
+* the **field size** ``q`` used by random linear network coding, and
+* the **payload length** ``r`` (number of field symbols per source message).
+
+:class:`SimulationConfig` gathers those knobs in a single immutable object so
+experiments, tests and benchmarks describe a run with one value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any
+
+from ..errors import ConfigurationError
+
+__all__ = ["TimeModel", "GossipAction", "SimulationConfig"]
+
+
+class TimeModel(str, Enum):
+    """The two time models of Section 2 of the paper."""
+
+    #: Every node activates exactly once per round; information received in a
+    #: round becomes usable only at the beginning of the next round.
+    SYNCHRONOUS = "synchronous"
+
+    #: At every timeslot a single node, chosen uniformly at random, activates.
+    #: ``n`` consecutive timeslots are one round.
+    ASYNCHRONOUS = "asynchronous"
+
+
+class GossipAction(str, Enum):
+    """Direction of information flow when a node contacts its partner."""
+
+    #: The initiator sends to the partner.
+    PUSH = "push"
+
+    #: The initiator receives from the partner.
+    PULL = "pull"
+
+    #: Both directions; this is the variant the paper analyses.
+    EXCHANGE = "exchange"
+
+
+_VALID_FIELD_SIZES = frozenset({2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27,
+                                29, 31, 32, 37, 41, 43, 47, 49, 53, 59, 61, 64, 67,
+                                71, 73, 79, 81, 83, 89, 97, 101, 103, 107, 109, 113,
+                                121, 125, 127, 128, 131, 137, 139, 149, 151, 157,
+                                163, 167, 169, 173, 179, 181, 191, 193, 197, 199,
+                                211, 223, 227, 229, 233, 239, 241, 243, 251, 256})
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Immutable description of a single gossip simulation run.
+
+    Parameters
+    ----------
+    field_size:
+        Order ``q`` of the finite field used by RLNC.  The paper's analysis
+        only requires ``q >= 2`` (helpfulness probability ``1 - 1/q``).
+    payload_length:
+        Number of field symbols ``r`` per source message.  The paper assumes
+        ``r >> n``; for the stopping-time dynamics only the coefficient part
+        matters, so the default keeps payloads short and simulations fast.
+    time_model:
+        Synchronous rounds or asynchronous timeslots.
+    action:
+        PUSH / PULL / EXCHANGE.  The paper's theorems use EXCHANGE.
+    max_rounds:
+        Safety limit; a simulation that has not completed after this many
+        rounds raises :class:`~repro.errors.SimulationError` (or returns an
+        incomplete result when ``allow_incomplete`` is set).
+    allow_incomplete:
+        When ``True``, hitting ``max_rounds`` yields a result flagged as
+        incomplete instead of raising.  Benchmarks measuring lower-bound
+        behaviour (e.g. uniform gossip on the barbell) use this.
+    loss_probability:
+        Probability that any individual transmission is dropped before
+        delivery (independent per packet).  The paper assumes reliable links;
+        this knob exists for robustness experiments — gossip protocols only
+        slow down under loss, they never deliver wrong data.
+    seed:
+        Root seed; all randomness in the run derives from it.
+    extra:
+        Free-form protocol-specific options (e.g. the spanning-tree protocol
+        to plug into TAG).  Stored as a tuple of key/value pairs to keep the
+        dataclass hashable.
+    """
+
+    field_size: int = 16
+    payload_length: int = 4
+    time_model: TimeModel = TimeModel.SYNCHRONOUS
+    action: GossipAction = GossipAction.EXCHANGE
+    max_rounds: int = 100_000
+    allow_incomplete: bool = False
+    loss_probability: float = 0.0
+    seed: int = 0
+    extra: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.field_size < 2:
+            raise ConfigurationError(
+                f"field_size must be at least 2, got {self.field_size}"
+            )
+        if self.field_size not in _VALID_FIELD_SIZES:
+            raise ConfigurationError(
+                f"field_size {self.field_size} is not a supported prime power"
+            )
+        if self.payload_length < 1:
+            raise ConfigurationError(
+                f"payload_length must be positive, got {self.payload_length}"
+            )
+        if self.max_rounds < 1:
+            raise ConfigurationError(
+                f"max_rounds must be positive, got {self.max_rounds}"
+            )
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ConfigurationError(
+                f"loss_probability must lie in [0, 1), got {self.loss_probability}"
+            )
+        if not isinstance(self.time_model, TimeModel):
+            object.__setattr__(self, "time_model", TimeModel(self.time_model))
+        if not isinstance(self.action, GossipAction):
+            object.__setattr__(self, "action", GossipAction(self.action))
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def is_synchronous(self) -> bool:
+        """``True`` when the run uses synchronous rounds."""
+        return self.time_model is TimeModel.SYNCHRONOUS
+
+    @property
+    def options(self) -> dict[str, Any]:
+        """Protocol-specific options as a plain dictionary."""
+        return dict(self.extra)
+
+    def with_options(self, **options: Any) -> "SimulationConfig":
+        """Return a copy with ``options`` merged into :attr:`extra`."""
+        merged = dict(self.extra)
+        merged.update(options)
+        return replace(self, extra=tuple(sorted(merged.items())))
+
+    def replace(self, **changes: Any) -> "SimulationConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

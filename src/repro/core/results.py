@@ -1,0 +1,188 @@
+"""Result objects produced by gossip and queueing simulations.
+
+The central quantity of the paper is the *stopping time* of a protocol: the
+number of rounds (synchronous model) or timeslots (asynchronous model, with
+``n`` timeslots per round) until every node has learned all ``k`` messages.
+:class:`RunResult` records that, together with enough auxiliary counters to
+reason about message complexity, and :class:`StoppingTimeStats` aggregates
+repeated seeded trials into the "with high probability" statistics the paper's
+bounds are stated for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = ["RunResult", "StoppingTimeStats", "aggregate_results"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of a single protocol execution.
+
+    Attributes
+    ----------
+    rounds:
+        Number of rounds elapsed when the protocol stopped.  In the
+        asynchronous model this is ``ceil(timeslots / n)``.
+    timeslots:
+        Number of timeslots elapsed (equals ``rounds * n`` in the synchronous
+        model, where each round is accounted as ``n`` timeslots).
+    completed:
+        ``True`` when every node finished; ``False`` when the run hit the
+        ``max_rounds`` safety limit with ``allow_incomplete=True``.
+    n:
+        Number of nodes in the graph.
+    k:
+        Number of source messages disseminated.
+    completion_rounds:
+        Mapping from node id to the round at which that node first reached
+        full rank (or first held all messages, for uncoded baselines).  Nodes
+        that never finished are absent.
+    messages_sent:
+        Total packets transmitted over the run (both directions of an
+        EXCHANGE count as two packets).
+    helpful_messages:
+        Number of transmitted packets that increased the receiver's rank
+        (Definition 3 of the paper).
+    metadata:
+        Free-form extra information recorded by the protocol (for example the
+        spanning-tree depth in a TAG run, or the round at which phase 1
+        finished).
+    """
+
+    rounds: int
+    timeslots: int
+    completed: bool
+    n: int
+    k: int
+    completion_rounds: Mapping[int, int] = field(default_factory=dict)
+    messages_sent: int = 0
+    helpful_messages: int = 0
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def last_completion_round(self) -> int | None:
+        """Round at which the slowest node finished, if all nodes finished."""
+        if not self.completed or not self.completion_rounds:
+            return None
+        return max(self.completion_rounds.values())
+
+    @property
+    def helpful_fraction(self) -> float:
+        """Fraction of transmitted packets that were helpful (0 when none sent)."""
+        if self.messages_sent == 0:
+            return 0.0
+        return self.helpful_messages / self.messages_sent
+
+    def summary(self) -> str:
+        """One-line human-readable summary used by examples and reports."""
+        status = "completed" if self.completed else "INCOMPLETE"
+        return (
+            f"{status} after {self.rounds} rounds ({self.timeslots} timeslots); "
+            f"n={self.n}, k={self.k}, messages={self.messages_sent}, "
+            f"helpful={self.helpful_messages}"
+        )
+
+
+@dataclass(frozen=True)
+class StoppingTimeStats:
+    """Aggregate statistics of the stopping time over repeated trials.
+
+    The paper states bounds that hold *with high probability* (probability at
+    least ``1 - O(1/n)``).  Empirically we approximate that regime with upper
+    quantiles of the observed stopping-time distribution over independent
+    seeded trials.
+    """
+
+    samples: tuple[float, ...]
+    incomplete_trials: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise AnalysisError("StoppingTimeStats requires at least one sample")
+
+    @property
+    def trials(self) -> int:
+        """Number of completed trials that contributed a sample."""
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples))
+
+    @property
+    def std(self) -> float:
+        if len(self.samples) == 1:
+            return 0.0
+        return float(np.std(self.samples, ddof=1))
+
+    @property
+    def minimum(self) -> float:
+        return float(np.min(self.samples))
+
+    @property
+    def maximum(self) -> float:
+        return float(np.max(self.samples))
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.samples))
+
+    def quantile(self, q: float) -> float:
+        """Return the ``q``-quantile (``0 <= q <= 1``) of the samples."""
+        if not 0.0 <= q <= 1.0:
+            raise AnalysisError(f"quantile must lie in [0, 1], got {q}")
+        return float(np.quantile(self.samples, q))
+
+    @property
+    def whp(self) -> float:
+        """The 95th percentile, used as the empirical 'w.h.p.' stopping time."""
+        return self.quantile(0.95)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        return self.std / math.sqrt(self.trials)
+
+    def summary(self) -> str:
+        return (
+            f"mean={self.mean:.1f} ± {self.stderr:.1f}, median={self.median:.1f}, "
+            f"p95={self.whp:.1f}, max={self.maximum:.1f} over {self.trials} trials"
+            + (f" ({self.incomplete_trials} incomplete)" if self.incomplete_trials else "")
+        )
+
+
+def aggregate_results(
+    results: Iterable[RunResult], *, use_rounds: bool = True
+) -> StoppingTimeStats:
+    """Collapse a collection of :class:`RunResult` into stopping-time stats.
+
+    Parameters
+    ----------
+    results:
+        The per-trial results.
+    use_rounds:
+        When ``True`` (default) the statistic is the round count; otherwise
+        the timeslot count is used.  The paper's bounds are stated in rounds
+        for both time models, so rounds are the default unit everywhere.
+    """
+    samples: list[float] = []
+    incomplete = 0
+    for result in results:
+        if result.completed:
+            samples.append(float(result.rounds if use_rounds else result.timeslots))
+        else:
+            incomplete += 1
+    if not samples:
+        raise AnalysisError(
+            "no completed trials to aggregate; "
+            f"{incomplete} trials hit the round limit"
+        )
+    return StoppingTimeStats(samples=tuple(samples), incomplete_trials=incomplete)

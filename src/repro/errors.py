@@ -1,0 +1,58 @@
+"""Exception hierarchy for the algebraic-gossip reproduction library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError` so that callers can distinguish library failures from
+programming errors (``TypeError``, ``ValueError`` raised by numpy, etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class FieldError(ReproError):
+    """Raised for invalid finite-field construction or arithmetic.
+
+    Examples include requesting a field whose order is not a prime power,
+    or attempting to invert / divide by the zero element.
+    """
+
+
+class DecodingError(ReproError):
+    """Raised when an RLNC decoder cannot complete a requested operation.
+
+    The most common cause is calling :meth:`RlncDecoder.decode` before the
+    decoder has accumulated ``k`` linearly independent equations.
+    """
+
+
+class TopologyError(ReproError):
+    """Raised for invalid graph-construction parameters.
+
+    Examples: a barbell graph with fewer than two nodes per clique, a grid
+    whose side length is not positive, or a spanning-tree request on a
+    disconnected graph.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when a gossip or queueing simulation is mis-configured.
+
+    Examples: a workload referencing nodes that do not exist in the graph,
+    a protocol driven past its configured ``max_rounds`` safety limit, or a
+    spanning-tree protocol asked for a parent before the tree exists.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when a :class:`SimulationConfig` contains inconsistent values."""
+
+
+class AnalysisError(ReproError):
+    """Raised when an analysis routine receives data it cannot work with.
+
+    Examples: fitting a scaling exponent to fewer than two data points or
+    building a results table with mismatched column counts.
+    """

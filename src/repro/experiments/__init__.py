@@ -1,0 +1,43 @@
+"""Named experiments, workloads and reporting used by the benchmark harness."""
+
+from .reporting import format_comparison, format_experiment_report, format_markdown_table
+from .runner import (
+    EXPERIMENTS,
+    Experiment,
+    ExperimentResult,
+    default_config,
+    register_experiment,
+    run_experiment,
+    tag_case,
+    uniform_ag_case,
+)
+from .workloads import (
+    Placement,
+    adversarial_far_placement,
+    all_to_all_placement,
+    random_placement,
+    single_source_placement,
+    spread_placement,
+    validate_placement,
+)
+
+__all__ = [
+    "format_comparison",
+    "format_experiment_report",
+    "format_markdown_table",
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentResult",
+    "default_config",
+    "register_experiment",
+    "run_experiment",
+    "tag_case",
+    "uniform_ag_case",
+    "Placement",
+    "adversarial_far_placement",
+    "all_to_all_placement",
+    "random_placement",
+    "single_source_placement",
+    "spread_placement",
+    "validate_placement",
+]

@@ -1,0 +1,67 @@
+"""Reporting helpers: render experiment results as text or Markdown.
+
+EXPERIMENTS.md and the benchmark harness both print the same structures —
+lists of row dictionaries coming from :mod:`repro.analysis.sweep` and
+:mod:`repro.analysis.tables` — so the renderers live in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ..analysis.tables import format_table
+from ..errors import AnalysisError
+
+__all__ = ["format_markdown_table", "format_experiment_report", "format_comparison"]
+
+
+def format_markdown_table(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Render rows (dicts sharing the same keys) as a GitHub-flavoured Markdown table."""
+    if not rows:
+        raise AnalysisError("format_markdown_table requires at least one row")
+    headers = list(rows[0].keys())
+    for row in rows:
+        if list(row.keys()) != headers:
+            raise AnalysisError("all rows must share the same columns, in the same order")
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(row[header]) for header in headers) + " |")
+    return "\n".join(lines)
+
+
+def format_experiment_report(
+    title: str,
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    notes: Sequence[str] = (),
+    markdown: bool = False,
+) -> str:
+    """A titled table plus optional bullet notes, in text or Markdown form."""
+    if markdown:
+        parts = [f"### {title}", "", format_markdown_table(rows)]
+        if notes:
+            parts.append("")
+            parts.extend(f"- {note}" for note in notes)
+        return "\n".join(parts)
+    parts = [format_table(rows, title=title)]
+    if notes:
+        parts.append("")
+        parts.extend(f"* {note}" for note in notes)
+    return "\n".join(parts)
+
+
+def format_comparison(
+    label_a: str, value_a: float, label_b: str, value_b: float, *, unit: str = "rounds"
+) -> str:
+    """One-line comparison with the speed-up factor, used by examples."""
+    if value_a <= 0 or value_b <= 0:
+        raise AnalysisError("comparison values must be positive")
+    faster, slower = (label_a, label_b) if value_a <= value_b else (label_b, label_a)
+    ratio = max(value_a, value_b) / min(value_a, value_b)
+    return (
+        f"{label_a}: {value_a:.1f} {unit}; {label_b}: {value_b:.1f} {unit} — "
+        f"{faster} is {ratio:.1f}x faster than {slower}"
+    )

@@ -1,0 +1,327 @@
+"""Named, reproducible experiment definitions.
+
+Every table/figure reproduction in DESIGN.md has an experiment id (E1–E10).
+This module gives each a *named, parameterised, reproducible* definition that
+both the benchmark harness and EXPERIMENTS.md generation call into, so the
+numbers reported in documentation and the numbers produced by
+``pytest benchmarks/`` come from the same code path.
+
+An :class:`Experiment` bundles a builder function returning the list of
+:class:`~repro.analysis.sweep.SweepCase` objects to run; :func:`run_experiment`
+executes it and returns the sweep points plus the scaling table rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..analysis.bounds import (
+    brr_broadcast_upper_bound,
+    constant_degree_upper_bound,
+    k_dissemination_lower_bound,
+    lemma1_tree_gossip_bound,
+    tag_upper_bound,
+    tag_with_brr_upper_bound,
+    uniform_ag_upper_bound,
+)
+from ..analysis.sweep import SweepCase, SweepPoint, run_sweep, scaling_table
+from ..core.config import GossipAction, SimulationConfig, TimeModel
+from ..errors import AnalysisError
+from ..graphs.properties import diameter as graph_diameter
+from ..graphs.properties import max_degree as graph_max_degree
+from ..graphs.topologies import build_topology
+from ..protocols.algebraic_gossip import AlgebraicGossip
+from ..protocols.is_protocol import ISSpanningTree
+from ..protocols.spanning_tree_protocols import (
+    BfsOracleTree,
+    RoundRobinBroadcastTree,
+    UniformBroadcastTree,
+)
+from ..protocols.tag import TagProtocol
+from ..rlnc.message import Generation
+from ..gf import GF
+from .workloads import Placement, all_to_all_placement, spread_placement
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "register_experiment",
+    "run_experiment",
+    "uniform_ag_case",
+    "tag_case",
+    "default_config",
+]
+
+
+def default_config(
+    *,
+    time_model: TimeModel = TimeModel.SYNCHRONOUS,
+    field_size: int = 16,
+    max_rounds: int = 50_000,
+    allow_incomplete: bool = False,
+) -> SimulationConfig:
+    """The configuration experiments share unless they say otherwise."""
+    return SimulationConfig(
+        field_size=field_size,
+        payload_length=2,
+        time_model=time_model,
+        action=GossipAction.EXCHANGE,
+        max_rounds=max_rounds,
+        allow_incomplete=allow_incomplete,
+    )
+
+
+def _placement_for(graph: nx.Graph, k: int) -> Placement:
+    n = graph.number_of_nodes()
+    if k >= n:
+        return all_to_all_placement(graph)
+    return spread_placement(graph, k)
+
+
+def uniform_ag_case(
+    topology: str,
+    n: int,
+    k: int,
+    *,
+    config: SimulationConfig | None = None,
+    label: str | None = None,
+    value: float | None = None,
+    **topology_kwargs: Any,
+) -> SweepCase:
+    """Build a sweep case running uniform algebraic gossip on a named topology."""
+    graph = build_topology(topology, n, **topology_kwargs)
+    actual_n = graph.number_of_nodes()
+    actual_k = min(k, actual_n)
+    cfg = config if config is not None else default_config()
+    placement = _placement_for(graph, actual_k)
+    field = GF(cfg.field_size)
+    diameter_value = graph_diameter(graph)
+    delta = graph_max_degree(graph)
+
+    def factory(g: nx.Graph, rng: np.random.Generator) -> AlgebraicGossip:
+        generation = Generation.random(field, actual_k, cfg.payload_length, rng)
+        return AlgebraicGossip(g, generation, placement, cfg, rng)
+
+    bounds = {
+        "theorem1": uniform_ag_upper_bound(actual_n, actual_k, diameter_value, delta),
+        "lower": k_dissemination_lower_bound(
+            actual_k, diameter_value, synchronous=cfg.is_synchronous
+        ),
+    }
+    if delta <= 8:
+        bounds["theorem3"] = constant_degree_upper_bound(actual_k, diameter_value)
+    return SweepCase(
+        label=label or f"{topology}(n={actual_n}, k={actual_k})",
+        value=float(value if value is not None else actual_n),
+        graph=graph,
+        protocol_factory=factory,
+        config=cfg,
+        bounds=bounds,
+    )
+
+
+_TREE_PROTOCOLS = {
+    "brr": RoundRobinBroadcastTree,
+    "uniform_broadcast": UniformBroadcastTree,
+    "bfs_oracle": BfsOracleTree,
+    "is": ISSpanningTree,
+}
+
+
+def tag_case(
+    topology: str,
+    n: int,
+    k: int,
+    *,
+    spanning_tree: str = "brr",
+    config: SimulationConfig | None = None,
+    label: str | None = None,
+    value: float | None = None,
+    **topology_kwargs: Any,
+) -> SweepCase:
+    """Build a sweep case running TAG with the named spanning-tree protocol."""
+    if spanning_tree not in _TREE_PROTOCOLS:
+        raise AnalysisError(
+            f"unknown spanning tree protocol {spanning_tree!r}; "
+            f"known: {sorted(_TREE_PROTOCOLS)}"
+        )
+    graph = build_topology(topology, n, **topology_kwargs)
+    actual_n = graph.number_of_nodes()
+    actual_k = min(k, actual_n)
+    cfg = config if config is not None else default_config()
+    placement = _placement_for(graph, actual_k)
+    field = GF(cfg.field_size)
+    diameter_value = graph_diameter(graph)
+    root = sorted(graph.nodes())[0]
+    protocol_cls = _TREE_PROTOCOLS[spanning_tree]
+
+    def stp_factory(g: nx.Graph, rng: np.random.Generator):
+        if spanning_tree == "is":
+            return ISSpanningTree(g, rng)
+        return protocol_cls(g, root, rng)
+
+    def factory(g: nx.Graph, rng: np.random.Generator) -> TagProtocol:
+        generation = Generation.random(field, actual_k, cfg.payload_length, rng)
+        return TagProtocol(g, generation, placement, cfg, rng, stp_factory)
+
+    bounds = {
+        "theorem4": tag_upper_bound(
+            actual_n, actual_k, 2 * diameter_value, brr_broadcast_upper_bound(actual_n)
+        ),
+        "lower": k_dissemination_lower_bound(
+            actual_k, diameter_value, synchronous=cfg.is_synchronous
+        ),
+        "tag_brr": tag_with_brr_upper_bound(actual_n, actual_k),
+        "lemma1": lemma1_tree_gossip_bound(actual_n, actual_k, diameter_value),
+    }
+    return SweepCase(
+        label=label or f"TAG+{spanning_tree} {topology}(n={actual_n}, k={actual_k})",
+        value=float(value if value is not None else actual_n),
+        graph=graph,
+        protocol_factory=factory,
+        config=cfg,
+        bounds=bounds,
+    )
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A named experiment: an id, a description and a case builder."""
+
+    experiment_id: str
+    description: str
+    build_cases: Callable[[], Sequence[SweepCase]]
+    bound_names: tuple[str, ...] = ()
+    trials: int = 3
+    value_header: str = "value"
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The outcome of running a named experiment."""
+
+    experiment: Experiment
+    points: list[SweepPoint]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+
+#: Registry of named experiments (populated below and extendable by users).
+EXPERIMENTS: dict[str, Experiment] = {}
+
+
+def register_experiment(experiment: Experiment) -> Experiment:
+    """Add an experiment to the registry (overwriting an existing id)."""
+    EXPERIMENTS[experiment.experiment_id] = experiment
+    return experiment
+
+
+def run_experiment(
+    experiment_id: str, *, trials: int | None = None, seed: int = 0
+) -> ExperimentResult:
+    """Run a registered experiment and return its sweep points and table rows."""
+    try:
+        experiment = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    cases = list(experiment.build_cases())
+    points = run_sweep(cases, trials=trials or experiment.trials, seed=seed)
+    rows = scaling_table(
+        points, bound_names=experiment.bound_names, value_header=experiment.value_header
+    )
+    return ExperimentResult(experiment=experiment, points=points, rows=rows)
+
+
+# ----------------------------------------------------------------------
+# Built-in experiment definitions (small sizes: they must run in CI time).
+# ----------------------------------------------------------------------
+register_experiment(
+    Experiment(
+        experiment_id="E1-uniform-ag",
+        description="Theorem 1: uniform AG vs O((k + log n + D)Δ) on several topologies",
+        build_cases=lambda: [
+            uniform_ag_case("line", 16, 8),
+            uniform_ag_case("grid", 16, 8),
+            uniform_ag_case("complete", 16, 8),
+            uniform_ag_case("binary_tree", 16, 8),
+        ],
+        bound_names=("theorem1", "lower"),
+        value_header="n",
+    )
+)
+
+register_experiment(
+    Experiment(
+        experiment_id="E2-constant-degree",
+        description="Theorem 3: Θ(k + D) scaling on constant-degree graphs (k sweep)",
+        build_cases=lambda: [
+            uniform_ag_case("ring", 16, k, label=f"ring k={k}", value=k) for k in (2, 4, 8, 16)
+        ],
+        bound_names=("theorem3", "lower"),
+        value_header="k",
+    )
+)
+
+register_experiment(
+    Experiment(
+        experiment_id="E3-tag",
+        description="Theorem 4: TAG with broadcast spanning trees on bottleneck graphs",
+        build_cases=lambda: [
+            tag_case("barbell", 16, 16, spanning_tree="brr"),
+            tag_case("barbell", 16, 16, spanning_tree="uniform_broadcast"),
+            tag_case("grid", 16, 16, spanning_tree="brr"),
+        ],
+        bound_names=("theorem4", "lower"),
+        value_header="n",
+    )
+)
+
+register_experiment(
+    Experiment(
+        experiment_id="E4-tag-omega-n",
+        description="Section 5: TAG + B_RR is Θ(n) for k = n on any graph",
+        build_cases=lambda: [
+            tag_case("barbell", n, n, spanning_tree="brr", value=n) for n in (8, 16, 24)
+        ],
+        bound_names=("tag_brr", "lower"),
+        value_header="n",
+    )
+)
+
+register_experiment(
+    Experiment(
+        experiment_id="E5-tag-is",
+        description="Theorems 7/8: TAG + IS on large-weak-conductance graphs",
+        build_cases=lambda: [
+            tag_case("barbell", 16, 16, spanning_tree="is"),
+            tag_case("clique_chain", 16, 16, spanning_tree="is", cliques=4),
+        ],
+        bound_names=("lower",),
+        value_header="n",
+    )
+)
+
+register_experiment(
+    Experiment(
+        experiment_id="E8-barbell",
+        description="Barbell worst case: uniform AG (slow) vs TAG + B_RR (Θ(n))",
+        build_cases=lambda: [
+            uniform_ag_case(
+                "barbell",
+                12,
+                12,
+                label="uniform AG barbell",
+                config=default_config(max_rounds=200_000),
+            ),
+            tag_case("barbell", 12, 12, spanning_tree="brr", label="TAG+BRR barbell"),
+        ],
+        bound_names=("lower",),
+        value_header="n",
+    )
+)

@@ -1,0 +1,264 @@
+"""Polynomial helpers used to construct finite fields.
+
+Two kinds of fields appear in the library:
+
+* prime fields ``GF(p)``, which only need a primality test, and
+* binary extension fields ``GF(2^m)``, which need an irreducible polynomial
+  of degree ``m`` over ``GF(2)`` to define multiplication.
+
+Polynomials over ``GF(2)`` are represented as Python integers whose binary
+expansion lists the coefficients: bit ``i`` is the coefficient of ``x**i``.
+For example ``0b10011`` is ``x^4 + x + 1``, the usual generator of ``GF(16)``.
+
+The module also supports general prime-power fields ``GF(p^m)`` through
+:func:`find_irreducible`, which searches for a monic irreducible polynomial
+over ``GF(p)`` represented as a tuple of coefficients (lowest degree first).
+Only small fields are ever used by the gossip simulations, so brute-force
+searches are more than fast enough.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+from ..errors import FieldError
+
+__all__ = [
+    "is_prime",
+    "factor_prime_power",
+    "CONWAY_BINARY_POLYNOMIALS",
+    "gf2_poly_degree",
+    "gf2_poly_mulmod",
+    "gf2_poly_is_irreducible",
+    "find_binary_irreducible",
+    "find_irreducible",
+]
+
+
+def is_prime(value: int) -> bool:
+    """Return ``True`` if ``value`` is a prime number.
+
+    Deterministic trial division; the library only constructs fields of order
+    at most a few hundred, so no probabilistic test is needed.
+    """
+    if value < 2:
+        return False
+    if value < 4:
+        return True
+    if value % 2 == 0:
+        return False
+    divisor = 3
+    while divisor * divisor <= value:
+        if value % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+def factor_prime_power(order: int) -> tuple[int, int]:
+    """Factor ``order`` as ``p ** m`` with ``p`` prime, or raise.
+
+    Returns
+    -------
+    (p, m):
+        The characteristic and the extension degree.
+
+    Raises
+    ------
+    FieldError:
+        If ``order`` is not a prime power (e.g. 6, 12, 100).
+    """
+    if order < 2:
+        raise FieldError(f"field order must be at least 2, got {order}")
+    for p in range(2, order + 1):
+        if not is_prime(p):
+            continue
+        if order % p != 0:
+            continue
+        m = 0
+        remaining = order
+        while remaining % p == 0:
+            remaining //= p
+            m += 1
+        if remaining == 1:
+            return p, m
+        raise FieldError(f"{order} is not a prime power")
+    raise FieldError(f"{order} is not a prime power")  # pragma: no cover
+
+
+#: Standard irreducible (Conway-style) polynomials for the binary fields the
+#: simulations use most.  Keys are the extension degree ``m``; values are the
+#: integer bit representation described in the module docstring.
+CONWAY_BINARY_POLYNOMIALS: dict[int, int] = {
+    1: 0b11,           # x + 1 (GF(2) itself; unused but kept for completeness)
+    2: 0b111,          # x^2 + x + 1
+    3: 0b1011,         # x^3 + x + 1
+    4: 0b10011,        # x^4 + x + 1
+    5: 0b100101,       # x^5 + x^2 + 1
+    6: 0b1011011,      # x^6 + x^4 + x^3 + x + 1
+    7: 0b10000011,     # x^7 + x + 1
+    8: 0b100011011,    # x^8 + x^4 + x^3 + x + 1 (AES polynomial)
+}
+
+
+def gf2_poly_degree(poly: int) -> int:
+    """Degree of a ``GF(2)`` polynomial in integer-bit representation."""
+    if poly == 0:
+        return -1
+    return poly.bit_length() - 1
+
+
+def gf2_poly_mulmod(a: int, b: int, modulus: int) -> int:
+    """Multiply two ``GF(2)`` polynomials modulo ``modulus``.
+
+    Standard carry-less multiplication followed by polynomial reduction.
+    """
+    if modulus == 0:
+        raise FieldError("modulus polynomial must be non-zero")
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+    # Reduce.
+    mod_degree = gf2_poly_degree(modulus)
+    while gf2_poly_degree(result) >= mod_degree:
+        shift = gf2_poly_degree(result) - mod_degree
+        result ^= modulus << shift
+    return result
+
+
+def _gf2_poly_powmod(base: int, exponent: int, modulus: int) -> int:
+    """Compute ``base ** exponent`` modulo ``modulus`` over ``GF(2)``."""
+    result = 1
+    base = gf2_poly_mulmod(base, 1, modulus)
+    while exponent:
+        if exponent & 1:
+            result = gf2_poly_mulmod(result, base, modulus)
+        base = gf2_poly_mulmod(base, base, modulus)
+        exponent >>= 1
+    return result
+
+
+def gf2_poly_is_irreducible(poly: int) -> bool:
+    """Test irreducibility of a ``GF(2)`` polynomial via Rabin's test.
+
+    A degree-``m`` polynomial ``f`` is irreducible over ``GF(2)`` iff
+    ``x^(2^m) == x (mod f)`` and for every prime divisor ``d`` of ``m``,
+    ``gcd(x^(2^(m/d)) - x, f) == 1``.
+    """
+    m = gf2_poly_degree(poly)
+    if m <= 0:
+        return False
+    if m == 1:
+        return True
+    x = 0b10
+    # x^(2^m) mod poly must equal x.
+    power = x
+    for _ in range(m):
+        power = gf2_poly_mulmod(power, power, poly)
+    if power != x:
+        return False
+    # For each prime divisor d of m, gcd(x^(2^(m/d)) + x, poly) must be 1.
+    for d in _prime_divisors(m):
+        power = x
+        for _ in range(m // d):
+            power = gf2_poly_mulmod(power, power, poly)
+        if _gf2_poly_gcd(power ^ x, poly) != 1:
+            return False
+    return True
+
+
+def _prime_divisors(value: int) -> list[int]:
+    divisors = []
+    candidate = 2
+    remaining = value
+    while candidate * candidate <= remaining:
+        if remaining % candidate == 0:
+            divisors.append(candidate)
+            while remaining % candidate == 0:
+                remaining //= candidate
+        candidate += 1
+    if remaining > 1:
+        divisors.append(remaining)
+    return divisors
+
+
+def _gf2_poly_mod(a: int, b: int) -> int:
+    """Remainder of polynomial division of ``a`` by ``b`` over ``GF(2)``."""
+    db = gf2_poly_degree(b)
+    while gf2_poly_degree(a) >= db:
+        a ^= b << (gf2_poly_degree(a) - db)
+    return a
+
+
+def _gf2_poly_gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, _gf2_poly_mod(a, b)
+    return a
+
+
+@lru_cache(maxsize=None)
+def find_binary_irreducible(degree: int) -> int:
+    """Return an irreducible polynomial of the given ``degree`` over ``GF(2)``.
+
+    Known standard polynomials are used when available; otherwise the smallest
+    irreducible polynomial (by integer value) is found by brute force.
+    """
+    if degree < 1:
+        raise FieldError(f"extension degree must be positive, got {degree}")
+    if degree in CONWAY_BINARY_POLYNOMIALS:
+        return CONWAY_BINARY_POLYNOMIALS[degree]
+    start = 1 << degree
+    for candidate in range(start + 1, start << 1, 2):  # constant term must be 1
+        if gf2_poly_is_irreducible(candidate):
+            return candidate
+    raise FieldError(f"no irreducible polynomial of degree {degree} found")  # pragma: no cover
+
+
+def _poly_eval_mod(coeffs: Sequence[int], x: int, p: int) -> int:
+    """Evaluate a polynomial with coefficients mod ``p`` at ``x`` (Horner)."""
+    result = 0
+    for coeff in reversed(coeffs):
+        result = (result * x + coeff) % p
+    return result
+
+
+@lru_cache(maxsize=None)
+def find_irreducible(p: int, m: int) -> tuple[int, ...]:
+    """Find a monic irreducible polynomial of degree ``m`` over ``GF(p)``.
+
+    The polynomial is returned as a tuple of coefficients, lowest degree
+    first, with the leading coefficient equal to 1.  For ``m <= 3`` a
+    polynomial is irreducible iff it has no roots in ``GF(p)``, which is the
+    only case the library needs for non-binary extension fields (GF(9),
+    GF(25), GF(27), GF(121), ...).  Larger non-binary extensions are rejected.
+    """
+    if not is_prime(p):
+        raise FieldError(f"characteristic must be prime, got {p}")
+    if m < 1:
+        raise FieldError(f"extension degree must be positive, got {m}")
+    if m == 1:
+        return (0, 1)
+    if m > 3:
+        raise FieldError(
+            "non-binary extension fields are only supported up to degree 3; "
+            f"requested GF({p}^{m})"
+        )
+    # Enumerate monic polynomials x^m + a_{m-1} x^{m-1} + ... + a_0 and keep
+    # the first with no root in GF(p).  Degree 2 and 3 polynomials without
+    # roots are irreducible.
+    for code in range(p**m):
+        coeffs = []
+        value = code
+        for _ in range(m):
+            coeffs.append(value % p)
+            value //= p
+        coeffs.append(1)  # monic
+        if coeffs[0] == 0:
+            continue
+        if all(_poly_eval_mod(coeffs, x, p) != 0 for x in range(p)):
+            return tuple(coeffs)
+    raise FieldError(f"no irreducible polynomial found for GF({p}^{m})")  # pragma: no cover

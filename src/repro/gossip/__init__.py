@@ -1,0 +1,23 @@
+"""Gossip machinery: communication models, the engine and event traces."""
+
+from .communication import (
+    FixedPartnerSelector,
+    PartnerSelector,
+    RoundRobinSelector,
+    UniformSelector,
+)
+from .engine import GossipEngine, GossipProcess, Transmission, run_protocol
+from .trace import EventTrace, GossipEvent
+
+__all__ = [
+    "FixedPartnerSelector",
+    "PartnerSelector",
+    "RoundRobinSelector",
+    "UniformSelector",
+    "GossipEngine",
+    "GossipProcess",
+    "Transmission",
+    "run_protocol",
+    "EventTrace",
+    "GossipEvent",
+]

@@ -1,0 +1,235 @@
+"""The discrete-event gossip engine.
+
+The engine is protocol-agnostic: it owns only the *time model* of Section 2
+(synchronous rounds versus asynchronous timeslots) while the protocol object —
+uniform algebraic gossip, TAG, a broadcast, the IS protocol, an uncoded
+baseline — decides what a waking node does by implementing
+:class:`GossipProcess`.
+
+Time-model semantics
+--------------------
+* **Synchronous**: in every round every node wakes up exactly once.  The paper
+  stipulates that "information received in the current round will be available
+  to a node for sending only at the beginning of the next round"; the engine
+  enforces this by buffering all deliveries of a round and applying them only
+  after every node has produced its transmissions for that round.
+* **Asynchronous**: at every timeslot one node chosen uniformly at random
+  wakes up and its transmissions are delivered immediately.  ``n`` consecutive
+  timeslots count as one round, matching the paper's accounting.
+
+The engine reports a :class:`~repro.core.results.RunResult` with stopping time
+in both rounds and timeslots, per-node completion rounds, and message /
+helpful-message counters.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+import networkx as nx
+import numpy as np
+
+from ..core.config import SimulationConfig, TimeModel
+from ..core.results import RunResult
+from ..errors import SimulationError
+from .trace import EventTrace, GossipEvent
+
+__all__ = ["Transmission", "GossipProcess", "GossipEngine", "run_protocol"]
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One directed message produced by a waking node.
+
+    ``kind`` is a protocol-assigned label recorded in traces; it has no effect
+    on the engine's behaviour.
+    """
+
+    sender: int
+    receiver: int
+    payload: Any
+    kind: str = "message"
+
+
+class GossipProcess(ABC):
+    """Protocol interface driven by :class:`GossipEngine`.
+
+    A protocol is a stateful object living for one run.  The engine calls
+    :meth:`on_wakeup` whenever a node activates and :meth:`on_deliver` when a
+    transmission reaches its receiver (immediately in the asynchronous model,
+    at the end of the round in the synchronous model).
+    """
+
+    @abstractmethod
+    def on_wakeup(self, node: int, rng: np.random.Generator) -> list[Transmission]:
+        """Called when ``node`` wakes up; returns the transmissions it initiates.
+
+        For an EXCHANGE the initiating node returns both directions (its own
+        packet to the partner and the partner's packet back to it); both are
+        built from committed state, so the synchronous buffering semantics are
+        preserved automatically.
+        """
+
+    @abstractmethod
+    def on_deliver(self, receiver: int, sender: int, payload: Any) -> bool | None:
+        """Apply a delivered payload; return whether it was *helpful* (or ``None``)."""
+
+    @abstractmethod
+    def is_complete(self) -> bool:
+        """``True`` once the protocol's dissemination task is finished."""
+
+    @abstractmethod
+    def finished_nodes(self) -> set[int]:
+        """The set of nodes that have individually completed (for statistics)."""
+
+    def metadata(self) -> dict[str, Any]:
+        """Protocol-specific extras copied into the result (default: empty)."""
+        return {}
+
+    def on_round_end(self, round_index: int) -> None:
+        """Hook invoked by the engine at the end of every round.
+
+        The default does nothing.  Observers such as
+        :class:`~repro.analysis.progress.ProgressRecorder` override it (via
+        wrapping) to sample per-round state — e.g. the minimum decoder rank —
+        without slowing down runs that do not need it.
+        """
+
+
+class GossipEngine:
+    """Drives a :class:`GossipProcess` under a time model until completion."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        process: GossipProcess,
+        config: SimulationConfig,
+        rng: np.random.Generator,
+        trace: EventTrace | None = None,
+    ) -> None:
+        if graph.number_of_nodes() < 2:
+            raise SimulationError("gossip requires at least two nodes")
+        if not nx.is_connected(graph):
+            raise SimulationError("gossip requires a connected graph")
+        self.graph = graph
+        self.process = process
+        self.config = config
+        self.rng = rng
+        self.trace = trace
+        self._nodes = sorted(graph.nodes())
+        self._n = len(self._nodes)
+        self._messages_sent = 0
+        self._helpful_messages = 0
+        self._dropped_messages = 0
+        self._timeslot = 0
+        self._completion_rounds: dict[int, int] = {}
+        self._loss_probability = config.loss_probability
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Run the protocol to completion (or to the ``max_rounds`` limit)."""
+        if self.config.time_model is TimeModel.SYNCHRONOUS:
+            rounds = self._run_synchronous()
+        else:
+            rounds = self._run_asynchronous()
+        completed = self.process.is_complete()
+        if not completed and not self.config.allow_incomplete:
+            raise SimulationError(
+                f"protocol did not complete within {self.config.max_rounds} rounds"
+            )
+        metadata = dict(self.process.metadata())
+        if self._loss_probability > 0:
+            metadata.setdefault("dropped_messages", self._dropped_messages)
+        return RunResult(
+            rounds=rounds,
+            timeslots=self._timeslot,
+            completed=completed,
+            n=self._n,
+            k=int(metadata.pop("k", 0)),
+            completion_rounds=dict(self._completion_rounds),
+            messages_sent=self._messages_sent,
+            helpful_messages=self._helpful_messages,
+            metadata=metadata,
+        )
+
+    # ------------------------------------------------------------------
+    # Time models
+    # ------------------------------------------------------------------
+    def _run_synchronous(self) -> int:
+        round_index = 0
+        self._note_completions(round_index)
+        while not self.process.is_complete():
+            if round_index >= self.config.max_rounds:
+                return round_index
+            round_index += 1
+            pending: list[Transmission] = []
+            for node in self._nodes:
+                pending.extend(self.process.on_wakeup(node, self.rng))
+            self._timeslot += self._n
+            # Deliveries become visible only now: end of the round.
+            for transmission in pending:
+                self._deliver(transmission, round_index)
+            self._note_completions(round_index)
+            self.process.on_round_end(round_index)
+        return round_index
+
+    def _run_asynchronous(self) -> int:
+        round_index = 0
+        self._note_completions(round_index)
+        max_timeslots = self.config.max_rounds * self._n
+        while not self.process.is_complete():
+            if self._timeslot >= max_timeslots:
+                return round_index
+            node = self._nodes[int(self.rng.integers(0, self._n))]
+            self._timeslot += 1
+            round_index = -(-self._timeslot // self._n)  # ceil division
+            for transmission in self.process.on_wakeup(node, self.rng):
+                self._deliver(transmission, round_index)
+            self._note_completions(round_index)
+            if self._timeslot % self._n == 0:
+                self.process.on_round_end(round_index)
+        return round_index
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _deliver(self, transmission: Transmission, round_index: int) -> None:
+        self._messages_sent += 1
+        if self._loss_probability > 0 and self.rng.random() < self._loss_probability:
+            self._dropped_messages += 1
+            return
+        helpful = self.process.on_deliver(
+            transmission.receiver, transmission.sender, transmission.payload
+        )
+        if helpful:
+            self._helpful_messages += 1
+        if self.trace is not None:
+            self.trace.record(
+                GossipEvent(
+                    round_index=round_index,
+                    timeslot=self._timeslot,
+                    sender=transmission.sender,
+                    receiver=transmission.receiver,
+                    helpful=helpful,
+                    kind=transmission.kind,
+                )
+            )
+
+    def _note_completions(self, round_index: int) -> None:
+        for node in self.process.finished_nodes():
+            self._completion_rounds.setdefault(node, round_index)
+
+
+def run_protocol(
+    graph: nx.Graph,
+    process: GossipProcess,
+    config: SimulationConfig,
+    rng: np.random.Generator,
+    trace: EventTrace | None = None,
+) -> RunResult:
+    """Convenience wrapper: construct a :class:`GossipEngine` and run it."""
+    return GossipEngine(graph, process, config, rng, trace).run()

@@ -1,0 +1,84 @@
+"""Optional event tracing for gossip simulations.
+
+Traces are off by default (stopping-time experiments only need counters), but
+examples and some tests enable them to inspect *what happened*: who contacted
+whom, in which round, and whether the delivered packet was helpful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["GossipEvent", "EventTrace"]
+
+
+@dataclass(frozen=True)
+class GossipEvent:
+    """One delivered transmission.
+
+    Attributes
+    ----------
+    round_index:
+        Round in which the delivery took effect (for the synchronous model
+        deliveries are applied at the end of the round they were sent in).
+    timeslot:
+        Global timeslot counter at the moment of delivery.
+    sender / receiver:
+        Node ids.
+    helpful:
+        ``True`` if the delivery increased the receiver's knowledge, ``False``
+        if it was redundant, ``None`` if the protocol does not track it.
+    kind:
+        Free-form label assigned by the protocol (e.g. ``"rlnc"``,
+        ``"broadcast-token"``, ``"is-bitstring"``).
+    """
+
+    round_index: int
+    timeslot: int
+    sender: int
+    receiver: int
+    helpful: bool | None
+    kind: str = "message"
+
+
+@dataclass
+class EventTrace:
+    """Append-only list of :class:`GossipEvent` with small query helpers."""
+
+    events: list[GossipEvent] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, event: GossipEvent) -> None:
+        """Append an event (no-op when the trace is disabled)."""
+        if self.enabled:
+            self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[GossipEvent]:
+        return iter(self.events)
+
+    def helpful_events(self) -> list[GossipEvent]:
+        """Only the deliveries that increased the receiver's knowledge."""
+        return [event for event in self.events if event.helpful]
+
+    def events_in_round(self, round_index: int) -> list[GossipEvent]:
+        """All deliveries applied in the given round."""
+        return [event for event in self.events if event.round_index == round_index]
+
+    def messages_per_round(self) -> dict[int, int]:
+        """Histogram: round → number of delivered messages."""
+        histogram: dict[int, int] = {}
+        for event in self.events:
+            histogram[event.round_index] = histogram.get(event.round_index, 0) + 1
+        return histogram
+
+    def contacts_of(self, node: int) -> list[GossipEvent]:
+        """Every event in which ``node`` was the sender or the receiver."""
+        return [
+            event
+            for event in self.events
+            if event.sender == node or event.receiver == node
+        ]

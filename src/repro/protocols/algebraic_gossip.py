@@ -1,0 +1,167 @@
+"""Uniform (and round-robin) algebraic gossip — the protocol of Theorem 1.
+
+Every node owns an :class:`~repro.rlnc.decoder.RlncDecoder` seeded with the
+source messages initially placed at it.  On every wakeup the node selects a
+communication partner according to the configured communication model
+(uniform by default) and the configured action:
+
+* ``PUSH``  — the waking node sends one freshly coded packet to the partner;
+* ``PULL``  — the partner sends one packet to the waking node;
+* ``EXCHANGE`` — both happen (this is the variant all the paper's theorems
+  are stated for).
+
+The protocol stops when every node's decoder reaches rank ``k``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..core.config import GossipAction, SimulationConfig
+from ..errors import SimulationError
+from ..gossip.communication import PartnerSelector, UniformSelector
+from ..gossip.engine import GossipProcess, Transmission
+from ..rlnc.decoder import RlncDecoder
+from ..rlnc.encoder import RlncEncoder
+from ..rlnc.message import Generation
+from ..rlnc.packet import CodedPacket
+
+__all__ = ["AlgebraicGossip", "build_node_decoders"]
+
+
+def build_node_decoders(
+    graph: nx.Graph,
+    generation: Generation,
+    placement: Mapping[int, Sequence[int]],
+    rng: np.random.Generator,
+) -> tuple[dict[int, RlncDecoder], dict[int, RlncEncoder]]:
+    """Create one decoder + encoder per node, seeded with the initial placement.
+
+    ``placement`` maps node id → indices of the source messages initially
+    stored there.  A node may hold several messages or none; every message
+    index must be placed at least once, otherwise no protocol could ever
+    disseminate it.
+    """
+    nodes = set(graph.nodes())
+    placed: set[int] = set()
+    for node, indices in placement.items():
+        if node not in nodes:
+            raise SimulationError(f"placement references unknown node {node}")
+        placed.update(int(i) for i in indices)
+    missing = set(range(generation.k)) - placed
+    if missing:
+        raise SimulationError(
+            f"source messages {sorted(missing)} are not placed at any node"
+        )
+    decoders: dict[int, RlncDecoder] = {}
+    encoders: dict[int, RlncEncoder] = {}
+    for node in sorted(nodes):
+        decoder = RlncDecoder(generation.field, generation.k, generation.payload_length)
+        for index in placement.get(node, ()):  # seed initial knowledge
+            decoder.add_source_message(int(index), generation.payload_matrix[int(index)])
+        decoders[node] = decoder
+        encoders[node] = RlncEncoder(decoder, rng)
+    return decoders, encoders
+
+
+class AlgebraicGossip(GossipProcess):
+    """Gossip process running RLNC dissemination with a pluggable partner selector.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph ``G_n``.
+    generation:
+        The ``k`` source messages.
+    placement:
+        Initial placement of source messages at nodes (node → message indices).
+    config:
+        Simulation configuration (field size must match ``generation.field``).
+    rng:
+        Random stream used for coding coefficients.
+    selector:
+        Communication model; defaults to :class:`UniformSelector` (Definition 1).
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        generation: Generation,
+        placement: Mapping[int, Sequence[int]],
+        config: SimulationConfig,
+        rng: np.random.Generator,
+        selector: PartnerSelector | None = None,
+    ) -> None:
+        if generation.field.order != config.field_size:
+            raise SimulationError(
+                f"generation field GF({generation.field.order}) does not match "
+                f"config field_size {config.field_size}"
+            )
+        self.graph = graph
+        self.generation = generation
+        self.config = config
+        self.action = config.action
+        self.selector = selector if selector is not None else UniformSelector(graph)
+        self.decoders, self.encoders = build_node_decoders(graph, generation, placement, rng)
+
+    # ------------------------------------------------------------------
+    # GossipProcess interface
+    # ------------------------------------------------------------------
+    def on_wakeup(self, node: int, rng: np.random.Generator) -> list[Transmission]:
+        partner = self.selector.partner(node, rng)
+        if partner is None:
+            return []
+        transmissions: list[Transmission] = []
+        if self.action in (GossipAction.PUSH, GossipAction.EXCHANGE):
+            packet = self.encoders[node].next_packet()
+            if packet is not None:
+                transmissions.append(Transmission(node, partner, packet, kind="rlnc"))
+        if self.action in (GossipAction.PULL, GossipAction.EXCHANGE):
+            packet = self.encoders[partner].next_packet()
+            if packet is not None:
+                transmissions.append(Transmission(partner, node, packet, kind="rlnc"))
+        return transmissions
+
+    def on_deliver(self, receiver: int, sender: int, payload: Any) -> bool:
+        if not isinstance(payload, CodedPacket):
+            raise SimulationError(
+                f"AlgebraicGossip received unexpected payload type {type(payload)!r}"
+            )
+        return self.decoders[receiver].receive(payload)
+
+    def is_complete(self) -> bool:
+        return all(decoder.is_complete for decoder in self.decoders.values())
+
+    def finished_nodes(self) -> set[int]:
+        return {node for node, decoder in self.decoders.items() if decoder.is_complete}
+
+    def metadata(self) -> dict[str, Any]:
+        ranks = {node: decoder.rank for node, decoder in self.decoders.items()}
+        return {
+            "k": self.generation.k,
+            "protocol": "algebraic-gossip",
+            "action": self.action.value,
+            "min_rank": min(ranks.values()),
+            "selector": type(self.selector).__name__,
+        }
+
+    # ------------------------------------------------------------------
+    # Convenience inspection helpers (used by tests and examples)
+    # ------------------------------------------------------------------
+    def rank_of(self, node: int) -> int:
+        """Current decoder rank of ``node``."""
+        return self.decoders[node].rank
+
+    def decoded_messages(self, node: int) -> np.ndarray:
+        """Decoded payload matrix at ``node`` (raises if the node is not done)."""
+        return self.decoders[node].decode()
+
+    def all_nodes_decoded_correctly(self) -> bool:
+        """Check every finished node against the generation's ground truth."""
+        return all(
+            decoder.matches_generation(self.generation)
+            for decoder in self.decoders.values()
+        )

@@ -1,0 +1,184 @@
+"""TAG — Tree-based Algebraic Gossip (Section 4 of the paper).
+
+TAG interleaves two phases, exactly as the pseudocode in the paper does:
+
+* **Phase 1** (odd wakeups): run a gossip spanning-tree protocol ``S``.  Once
+  a node becomes part of the tree it knows its parent.
+* **Phase 2** (even wakeups): a node that already has a parent performs an
+  EXCHANGE of RLNC-coded packets with that parent; a node without a parent is
+  idle.  The root never obtains a parent and therefore never *initiates* a
+  phase-2 exchange, but it still participates whenever a child contacts it
+  (EXCHANGE sends packets in both directions).
+
+Theorem 4 bounds the stopping time by ``O(k + log n + d(S) + t(S))`` for both
+time models.  The spanning-tree protocol is pluggable — any
+:class:`~repro.protocols.spanning_tree_protocols.SpanningTreeProtocol` works,
+including the round-robin broadcast of Theorem 5 and the simulated IS protocol
+of Section 6.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..core.config import SimulationConfig
+from ..errors import SimulationError
+from ..gossip.engine import GossipProcess, Transmission
+from ..rlnc.message import Generation
+from ..rlnc.packet import CodedPacket
+from .algebraic_gossip import build_node_decoders
+from .spanning_tree_protocols import SpanningTreeProtocol
+
+__all__ = ["TagProtocol"]
+
+#: Factory signature expected for the ``spanning_tree_factory`` argument: it
+#: receives the graph and a random generator and returns a fresh protocol
+#: instance (a fresh instance per run keeps trials independent).
+SpanningTreeFactory = Callable[[nx.Graph, np.random.Generator], SpanningTreeProtocol]
+
+
+class TagProtocol(GossipProcess):
+    """The TAG k-dissemination protocol.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph.
+    generation:
+        The ``k`` source messages.
+    placement:
+        Initial placement of source messages at nodes.
+    config:
+        Simulation configuration (time model, action, field size, ...).
+        TAG always uses EXCHANGE in both phases, as in the paper's pseudocode;
+        the configured action is ignored for phase semantics but kept in the
+        metadata for bookkeeping.
+    rng:
+        Random stream for coding coefficients and tree-protocol randomness.
+    spanning_tree:
+        Either an already-constructed spanning-tree protocol instance or a
+        factory ``(graph, rng) -> SpanningTreeProtocol``.
+    keep_phase1_after_tree:
+        When ``True`` (the default, faithful to the pseudocode) nodes keep
+        performing phase-1 steps on odd wakeups even after the tree is
+        complete.  Setting it to ``False`` lets every wakeup run phase 2 once
+        the tree exists — an ablation that only changes constants.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        generation: Generation,
+        placement: Mapping[int, Sequence[int]],
+        config: SimulationConfig,
+        rng: np.random.Generator,
+        spanning_tree: SpanningTreeProtocol | SpanningTreeFactory,
+        *,
+        keep_phase1_after_tree: bool = True,
+    ) -> None:
+        if generation.field.order != config.field_size:
+            raise SimulationError(
+                f"generation field GF({generation.field.order}) does not match "
+                f"config field_size {config.field_size}"
+            )
+        self.graph = graph
+        self.generation = generation
+        self.config = config
+        self.keep_phase1_after_tree = keep_phase1_after_tree
+        if callable(spanning_tree) and not isinstance(spanning_tree, SpanningTreeProtocol):
+            self.stp: SpanningTreeProtocol = spanning_tree(graph, rng)
+        else:
+            self.stp = spanning_tree  # type: ignore[assignment]
+        if not isinstance(self.stp, SpanningTreeProtocol):
+            raise SimulationError(
+                "spanning_tree must be a SpanningTreeProtocol or a factory returning one"
+            )
+        self.decoders, self.encoders = build_node_decoders(graph, generation, placement, rng)
+        self._wakeups: dict[int, int] = {node: 0 for node in graph.nodes()}
+        self._total_wakeups = 0
+        self._tree_complete_at_wakeup: int | None = None
+        self._n = graph.number_of_nodes()
+
+    # ------------------------------------------------------------------
+    # GossipProcess interface
+    # ------------------------------------------------------------------
+    def on_wakeup(self, node: int, rng: np.random.Generator) -> list[Transmission]:
+        self._wakeups[node] += 1
+        self._total_wakeups += 1
+        wakeup_count = self._wakeups[node]
+        phase1 = wakeup_count % 2 == 1
+        if phase1 and not self.keep_phase1_after_tree and self.stp.tree_complete():
+            phase1 = False
+        if phase1:
+            return self._phase1_step(node, rng)
+        return self._phase2_step(node)
+
+    def _phase1_step(self, node: int, rng: np.random.Generator) -> list[Transmission]:
+        """EXCHANGE of spanning-tree protocol messages with a partner chosen by S."""
+        partner = self.stp.choose_partner(node, rng)
+        return [
+            Transmission(node, partner, self.stp.tree_payload(node), kind="stp"),
+            Transmission(partner, node, self.stp.tree_payload(partner), kind="stp"),
+        ]
+
+    def _phase2_step(self, node: int) -> list[Transmission]:
+        """EXCHANGE of RLNC packets with the node's parent, if it has one yet."""
+        parent = self.stp.parent_of(node)
+        if parent is None:
+            return []
+        transmissions: list[Transmission] = []
+        packet_out = self.encoders[node].next_packet()
+        if packet_out is not None:
+            transmissions.append(Transmission(node, parent, packet_out, kind="rlnc"))
+        packet_back = self.encoders[parent].next_packet()
+        if packet_back is not None:
+            transmissions.append(Transmission(parent, node, packet_back, kind="rlnc"))
+        return transmissions
+
+    def on_deliver(self, receiver: int, sender: int, payload: Any) -> bool:
+        if isinstance(payload, CodedPacket):
+            return self.decoders[receiver].receive(payload)
+        changed = self.stp.handle_tree_payload(receiver, sender, payload)
+        if self._tree_complete_at_wakeup is None and self.stp.tree_complete():
+            self._tree_complete_at_wakeup = self._total_wakeups
+        return changed
+
+    def is_complete(self) -> bool:
+        return all(decoder.is_complete for decoder in self.decoders.values())
+
+    def finished_nodes(self) -> set[int]:
+        return {node for node, decoder in self.decoders.items() if decoder.is_complete}
+
+    def metadata(self) -> dict[str, Any]:
+        tree = self.stp.current_tree()
+        phase1_rounds = (
+            None
+            if self._tree_complete_at_wakeup is None
+            else -(-self._tree_complete_at_wakeup // self._n)  # ceil
+        )
+        return {
+            "k": self.generation.k,
+            "protocol": "TAG",
+            "spanning_tree_protocol": type(self.stp).__name__,
+            "tree_complete": self.stp.tree_complete(),
+            "tree_depth": tree.depth if tree is not None else None,
+            "tree_diameter": tree.tree_diameter if tree is not None else None,
+            "phase1_rounds": phase1_rounds,
+        }
+
+    # ------------------------------------------------------------------
+    # Convenience inspection helpers
+    # ------------------------------------------------------------------
+    def rank_of(self, node: int) -> int:
+        """Current decoder rank of ``node``."""
+        return self.decoders[node].rank
+
+    def all_nodes_decoded_correctly(self) -> bool:
+        """Check every finished node against the generation's ground truth."""
+        return all(
+            decoder.matches_generation(self.generation)
+            for decoder in self.decoders.values()
+        )

@@ -1,0 +1,61 @@
+"""Queueing-theory substrate used by the paper's proofs (Theorems 1 and 2)."""
+
+from .dominance import (
+    dominance_violation,
+    empirical_cdf,
+    empirically_dominates,
+    mean_ordering_holds,
+)
+from .jackson import (
+    equilibrium_queue_length_distribution,
+    expected_sojourn_time,
+    lemma7_stopping_time_bound,
+    sample_equilibrium_queue_length,
+    sum_exponentials_tail_bound,
+    theorem2_stopping_time_bound,
+    utilisation,
+)
+from .mm1 import (
+    MM1Queue,
+    departure_times,
+    exponential_service_times,
+    geometric_service_times,
+)
+from .network import (
+    TreeQueueNetwork,
+    line_tree,
+    open_line_stopping_time,
+    single_level_scheduling_stopping_time,
+)
+from .reduction import (
+    QueueingReduction,
+    ReductionPrediction,
+    service_probability,
+    worst_case_service_probability,
+)
+
+__all__ = [
+    "dominance_violation",
+    "empirical_cdf",
+    "empirically_dominates",
+    "mean_ordering_holds",
+    "equilibrium_queue_length_distribution",
+    "expected_sojourn_time",
+    "lemma7_stopping_time_bound",
+    "sample_equilibrium_queue_length",
+    "sum_exponentials_tail_bound",
+    "theorem2_stopping_time_bound",
+    "utilisation",
+    "MM1Queue",
+    "departure_times",
+    "exponential_service_times",
+    "geometric_service_times",
+    "TreeQueueNetwork",
+    "line_tree",
+    "open_line_stopping_time",
+    "single_level_scheduling_stopping_time",
+    "QueueingReduction",
+    "ReductionPrediction",
+    "service_probability",
+    "worst_case_service_probability",
+]

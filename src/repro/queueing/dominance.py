@@ -1,0 +1,72 @@
+"""Empirical stochastic-dominance checks.
+
+The proof of Theorem 2 rests on a chain of stochastic orderings between
+queueing systems (Definition 4: ``X ⪯ Y`` iff ``Pr(X ≤ t) ≥ Pr(Y ≤ t)`` for
+all ``t``).  We cannot verify the ordering exactly from finite samples, but we
+can check that the empirical CDFs respect it up to a statistical tolerance —
+that is what the property tests and the Theorem 2 benchmark do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = [
+    "empirical_cdf",
+    "dominance_violation",
+    "empirically_dominates",
+    "mean_ordering_holds",
+]
+
+
+def empirical_cdf(samples: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Empirical CDF of ``samples`` evaluated at ``points``."""
+    samples = np.sort(np.asarray(samples, dtype=float))
+    points = np.asarray(points, dtype=float)
+    if samples.size == 0:
+        raise AnalysisError("empirical_cdf requires at least one sample")
+    return np.searchsorted(samples, points, side="right") / samples.size
+
+
+def dominance_violation(smaller: np.ndarray, larger: np.ndarray) -> float:
+    """Maximum violation of ``F_smaller(t) >= F_larger(t)`` over pooled sample points.
+
+    A value of 0 means the empirical CDFs are consistent with
+    ``smaller ⪯ larger`` everywhere; positive values measure the worst gap
+    (comparable to a one-sided Kolmogorov–Smirnov statistic).
+    """
+    smaller = np.asarray(smaller, dtype=float)
+    larger = np.asarray(larger, dtype=float)
+    if smaller.size == 0 or larger.size == 0:
+        raise AnalysisError("both sample sets must be non-empty")
+    points = np.union1d(smaller, larger)
+    cdf_small = empirical_cdf(smaller, points)
+    cdf_large = empirical_cdf(larger, points)
+    return float(np.max(cdf_large - cdf_small))
+
+
+def empirically_dominates(
+    smaller: np.ndarray, larger: np.ndarray, *, tolerance: float = 0.1
+) -> bool:
+    """``True`` if the samples are consistent with ``smaller ⪯ larger``.
+
+    ``tolerance`` absorbs sampling noise; with a few hundred samples per side
+    a tolerance of about ``sqrt(ln(2/δ) / n)`` gives a one-sided KS-style test
+    at confidence ``1 - δ``.
+    """
+    if tolerance < 0:
+        raise AnalysisError(f"tolerance must be non-negative, got {tolerance}")
+    return dominance_violation(smaller, larger) <= tolerance
+
+
+def mean_ordering_holds(
+    smaller: np.ndarray, larger: np.ndarray, *, slack: float = 0.0
+) -> bool:
+    """Weaker check implied by stochastic dominance: ``E[smaller] <= E[larger] + slack``."""
+    smaller = np.asarray(smaller, dtype=float)
+    larger = np.asarray(larger, dtype=float)
+    if smaller.size == 0 or larger.size == 0:
+        raise AnalysisError("both sample sets must be non-empty")
+    return float(np.mean(smaller)) <= float(np.mean(larger)) + slack

@@ -1,0 +1,105 @@
+"""Jackson-network facts used in the proof of Theorem 2 (Lemmas 7–9).
+
+The final step of the proof takes the line of queues with all ``k`` customers
+at the far end, re-injects the customers from outside as a Poisson process of
+rate ``λ = μ/2`` and pads every queue with equilibrium "dummy" customers.
+Jackson's theorem then makes the queues independent M/M/1 queues with
+utilisation ``ρ = 1/2``, Lemma 8 gives the per-queue sojourn time
+``Exp(μ − λ)``, and Lemma 9 (a Chernoff bound for sums of exponentials) turns
+the expectations into a with-high-probability bound.
+
+This module provides those closed forms so tests and benchmarks can check the
+simulated networks against them.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = [
+    "utilisation",
+    "equilibrium_queue_length_distribution",
+    "sample_equilibrium_queue_length",
+    "expected_sojourn_time",
+    "sum_exponentials_tail_bound",
+    "theorem2_stopping_time_bound",
+    "lemma7_stopping_time_bound",
+]
+
+
+def utilisation(arrival_rate: float, service_rate: float) -> float:
+    """``ρ = λ / μ`` with the stability check ``ρ < 1``."""
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise SimulationError("rates must be positive")
+    rho = arrival_rate / service_rate
+    if rho >= 1:
+        raise SimulationError(f"unstable queue: ρ = {rho:.3f} >= 1")
+    return rho
+
+
+def equilibrium_queue_length_distribution(rho: float, max_length: int) -> np.ndarray:
+    """P(queue length = i) for i = 0..max_length of an M/M/1 in equilibrium.
+
+    The stationary distribution is geometric: ``P(L = i) = (1 - ρ) ρ^i``.
+    The returned vector is truncated (not renormalised); the tail mass beyond
+    ``max_length`` is ``ρ^(max_length + 1)``.
+    """
+    if not 0 < rho < 1:
+        raise SimulationError(f"rho must lie in (0, 1), got {rho}")
+    lengths = np.arange(max_length + 1)
+    return (1 - rho) * rho**lengths
+
+
+def sample_equilibrium_queue_length(rho: float, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+    """Sample stationary M/M/1 queue lengths (geometric with success ``1 - ρ``).
+
+    These are the "dummy customers" added to each queue in the proof of
+    Lemma 7 to start the system in equilibrium.
+    """
+    if not 0 < rho < 1:
+        raise SimulationError(f"rho must lie in (0, 1), got {rho}")
+    # numpy's geometric counts trials until first success (support >= 1);
+    # the stationary queue length has support >= 0.
+    return rng.geometric(1 - rho, size=size) - 1
+
+
+def expected_sojourn_time(arrival_rate: float, service_rate: float) -> float:
+    """Lemma 8: the equilibrium sojourn time of an M/M/1 queue is ``Exp(μ - λ)``."""
+    utilisation(arrival_rate, service_rate)
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def sum_exponentials_tail_bound(count: int, alpha: float) -> float:
+    """Lemma 9: ``Pr(Y < α E[Y]) > 1 - (2 e^{-α/2})^n`` for a sum of ``n`` i.i.d. exponentials.
+
+    Returns the lower bound on the probability (may be negative for small
+    ``α``; callers interested in a guarantee should require ``α > 2 ln 2``).
+    """
+    if count < 1:
+        raise SimulationError(f"count must be positive, got {count}")
+    if alpha <= 1:
+        raise SimulationError(f"alpha must exceed 1, got {alpha}")
+    return 1.0 - (2.0 * math.exp(-alpha / 2.0)) ** count
+
+
+def lemma7_stopping_time_bound(k: int, line_length: int, n: int, mu: float) -> float:
+    """The explicit constant version of Lemma 7: ``(4k + 4 l_max + 16 ln n) / μ``.
+
+    This holds with probability at least ``1 - 2/n²``.
+    """
+    if min(k, line_length, n) < 1 or mu <= 0:
+        raise SimulationError("k, line_length, n must be >= 1 and mu > 0")
+    return (4.0 * k + 4.0 * line_length + 16.0 * math.log(max(n, 2))) / mu
+
+
+def theorem2_stopping_time_bound(k: int, depth: int, n: int, mu: float) -> float:
+    """Theorem 2: ``t(Q^tree_n) = O((k + l_max + log n) / μ)`` — explicit-constant form.
+
+    We reuse Lemma 7's constants since the tree is stochastically dominated by
+    the all-customers-at-the-end line.
+    """
+    return lemma7_stopping_time_bound(k, max(depth, 1), n, mu)

@@ -1,0 +1,128 @@
+"""Single-queue primitives used by the queueing reduction.
+
+The appendix of the paper analyses gossip through networks of queues with a
+single exponential server each (rate ``μ``).  This module provides the basic
+building blocks:
+
+* :func:`departure_times` — the FCFS recursion ``d_i = max(a_i, d_{i-1}) + X_i``
+  illustrated in the paper's Figure 2, where ``X_i ~ Exp(μ)``;
+* :func:`exponential_service_times` and :func:`geometric_service_times` — the
+  two service-time models the paper switches between (Lemma 2 of [2] lets the
+  geometric timeslot process be replaced by a stochastically slower
+  exponential one);
+* :class:`MM1Queue` — a tiny M/M/1 simulator used by tests of Lemma 8 (the
+  sojourn time of an M/M/1 queue in equilibrium is ``Exp(μ - λ)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = [
+    "exponential_service_times",
+    "geometric_service_times",
+    "departure_times",
+    "MM1Queue",
+]
+
+
+def exponential_service_times(count: int, mu: float, rng: np.random.Generator) -> np.ndarray:
+    """Draw ``count`` i.i.d. ``Exp(mu)`` service times."""
+    if mu <= 0:
+        raise SimulationError(f"service rate mu must be positive, got {mu}")
+    if count < 0:
+        raise SimulationError(f"count must be non-negative, got {count}")
+    return rng.exponential(scale=1.0 / mu, size=count)
+
+
+def geometric_service_times(count: int, p: float, rng: np.random.Generator) -> np.ndarray:
+    """Draw ``count`` i.i.d. geometric service times (number of timeslots, support ≥ 1).
+
+    This is the "raw" service model of the gossip reduction: a helpful packet
+    crosses a given edge in a given timeslot with probability ``p``, so the
+    number of timeslots until it does is ``Geom(p)``.
+    """
+    if not 0 < p <= 1:
+        raise SimulationError(f"success probability p must lie in (0, 1], got {p}")
+    if count < 0:
+        raise SimulationError(f"count must be non-negative, got {count}")
+    return rng.geometric(p, size=count).astype(float)
+
+
+def departure_times(
+    arrivals: np.ndarray, service_times: np.ndarray
+) -> np.ndarray:
+    """FCFS departure times from a single-server queue.
+
+    Implements ``d_i = max(a_i, d_{i-1}) + X_i`` (the relation shown in the
+    appendix, "Later arrivals yield later departures").  ``arrivals`` must be
+    sorted non-decreasingly.
+    """
+    arrivals = np.asarray(arrivals, dtype=float)
+    service_times = np.asarray(service_times, dtype=float)
+    if arrivals.shape != service_times.shape:
+        raise SimulationError(
+            f"arrivals and service_times must have the same shape, "
+            f"got {arrivals.shape} vs {service_times.shape}"
+        )
+    if arrivals.size and np.any(np.diff(arrivals) < 0):
+        raise SimulationError("arrival times must be sorted non-decreasingly")
+    departures = np.empty_like(arrivals)
+    previous = 0.0
+    for index, (arrival, service) in enumerate(zip(arrivals, service_times)):
+        start = max(arrival, previous) if index > 0 else arrival
+        previous = start + service
+        departures[index] = previous
+    return departures
+
+
+@dataclass
+class MM1Queue:
+    """A minimal M/M/1 queue simulator (Poisson arrivals, exponential service).
+
+    Used by tests to check Lemma 8: in equilibrium, the time a customer spends
+    in the system (waiting plus service) is exponential with rate ``μ - λ``.
+    """
+
+    arrival_rate: float
+    service_rate: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0 or self.service_rate <= 0:
+            raise SimulationError("arrival and service rates must be positive")
+        if self.arrival_rate >= self.service_rate:
+            raise SimulationError(
+                "M/M/1 requires arrival_rate < service_rate for stability "
+                f"(got λ={self.arrival_rate}, μ={self.service_rate})"
+            )
+
+    @property
+    def utilisation(self) -> float:
+        """``ρ = λ / μ``."""
+        return self.arrival_rate / self.service_rate
+
+    def expected_sojourn_time(self) -> float:
+        """``E[T] = 1 / (μ - λ)`` (Lemma 8)."""
+        return 1.0 / (self.service_rate - self.arrival_rate)
+
+    def simulate_sojourn_times(
+        self, customers: int, rng: np.random.Generator, *, warmup: int = 200
+    ) -> np.ndarray:
+        """Simulate the queue and return the sojourn times of ``customers`` customers.
+
+        The first ``warmup`` customers are discarded so the measured times are
+        taken (approximately) in equilibrium.
+        """
+        if customers < 1:
+            raise SimulationError(f"customers must be positive, got {customers}")
+        total = customers + warmup
+        interarrivals = rng.exponential(scale=1.0 / self.arrival_rate, size=total)
+        arrivals = np.cumsum(interarrivals)
+        services = exponential_service_times(total, self.service_rate, rng)
+        departures = departure_times(arrivals, services)
+        sojourns = departures - arrivals
+        return sojourns[warmup:]

@@ -1,0 +1,222 @@
+"""Incremental RLNC decoder based on on-line Gaussian elimination.
+
+Each gossip node owns one :class:`RlncDecoder`.  The decoder stores the linear
+equations (coded packets) the node has accumulated, kept permanently in
+reduced row-echelon form so that
+
+* checking whether a received packet is *helpful* (Definition 3 of the paper —
+  it increases the rank) costs one row-reduction against the stored pivots,
+* the node's rank is simply the number of stored rows, and
+* once the rank reaches ``k`` the original messages fall out of the stored
+  matrix directly (the coefficient part is the identity).
+
+The decoder is the ground truth for the stopping-time measurements: a node has
+"finished" exactly when its decoder reports :meth:`is_complete`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DecodingError
+from ..gf.field import GaloisField
+from .message import Generation
+from .packet import CodedPacket
+
+__all__ = ["RlncDecoder"]
+
+
+class RlncDecoder:
+    """On-line Gaussian elimination over ``GF(q)`` for one gossip node.
+
+    Parameters
+    ----------
+    field:
+        The finite field all packets are coded over.
+    k:
+        Generation size (number of source messages in the system).
+    payload_length:
+        Number of payload symbols per message (``r``).
+    """
+
+    def __init__(self, field: GaloisField, k: int, payload_length: int) -> None:
+        if k < 1:
+            raise DecodingError(f"generation size must be positive, got {k}")
+        if payload_length < 1:
+            raise DecodingError(f"payload length must be positive, got {payload_length}")
+        self.field = field
+        self.k = k
+        self.payload_length = payload_length
+        # Stored rows are [coefficients | payload], kept in RREF and ordered
+        # by pivot column.  ``_pivot_of_row[i]`` is the pivot column of row i.
+        self._rows: list[np.ndarray] = []
+        self._pivot_of_row: list[int] = []
+        self._received = 0
+        self._helpful = 0
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """Current rank: number of linearly independent equations stored."""
+        return len(self._rows)
+
+    @property
+    def is_complete(self) -> bool:
+        """``True`` once the node can decode all ``k`` messages."""
+        return self.rank == self.k
+
+    @property
+    def packets_received(self) -> int:
+        """Total packets fed to :meth:`receive` (helpful or not)."""
+        return self._received
+
+    @property
+    def helpful_received(self) -> int:
+        """Number of received packets that increased the rank."""
+        return self._helpful
+
+    @property
+    def pivot_columns(self) -> tuple[int, ...]:
+        """Pivot columns of the stored coefficient matrix, in row order."""
+        return tuple(self._pivot_of_row)
+
+    def coefficient_matrix(self) -> np.ndarray:
+        """The stored coefficient matrix (``rank x k``), a copy."""
+        if not self._rows:
+            return self.field.zeros((0, self.k))
+        return np.vstack([row[: self.k] for row in self._rows])
+
+    def augmented_matrix(self) -> np.ndarray:
+        """The stored ``[coefficients | payload]`` matrix (``rank x (k + r)``), a copy."""
+        if not self._rows:
+            return self.field.zeros((0, self.k + self.payload_length))
+        return np.vstack(self._rows)
+
+    # ------------------------------------------------------------------
+    # Seeding with source messages
+    # ------------------------------------------------------------------
+    def add_source_message(self, index: int, payload: np.ndarray) -> bool:
+        """Seed the decoder with an original source message.
+
+        Equivalent to receiving the trivial packet whose coefficient vector is
+        the unit vector ``e_index``.  Returns whether it was helpful (it always
+        is, unless the node already knows that message).
+        """
+        packet = CodedPacket.unit(self.field, self.k, index, payload)
+        return self.receive(packet)
+
+    # ------------------------------------------------------------------
+    # Receiving coded packets
+    # ------------------------------------------------------------------
+    def receive(self, packet: CodedPacket) -> bool:
+        """Process a received packet; return ``True`` if it increased the rank.
+
+        Non-helpful packets (linearly dependent on what is already stored, or
+        all-zero) are counted but otherwise ignored, exactly as in the paper.
+        """
+        if packet.k != self.k:
+            raise DecodingError(
+                f"packet encoded for generation size {packet.k}, decoder expects {self.k}"
+            )
+        if packet.payload_length != self.payload_length:
+            raise DecodingError(
+                f"packet payload length {packet.payload_length} does not match "
+                f"decoder payload length {self.payload_length}"
+            )
+        self._received += 1
+        row = np.concatenate(
+            [packet.coefficient_array(self.field), packet.payload_array(self.field)]
+        ).astype(self.field.dtype)
+        reduced = self._reduce_against_stored(row)
+        pivot = self._first_nonzero_coefficient(reduced)
+        if pivot is None:
+            return False
+        self._insert_row(reduced, pivot)
+        self._helpful += 1
+        return True
+
+    def would_be_helpful(self, packet: CodedPacket) -> bool:
+        """Check helpfulness without mutating the decoder."""
+        if packet.k != self.k or packet.payload_length != self.payload_length:
+            raise DecodingError("packet dimensions do not match the decoder")
+        row = np.concatenate(
+            [packet.coefficient_array(self.field), packet.payload_array(self.field)]
+        ).astype(self.field.dtype)
+        reduced = self._reduce_against_stored(row)
+        return self._first_nonzero_coefficient(reduced) is not None
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(self) -> np.ndarray:
+        """Recover the ``(k, r)`` matrix of original payloads.
+
+        Raises
+        ------
+        DecodingError:
+            If the decoder has not yet reached full rank.
+        """
+        if not self.is_complete:
+            raise DecodingError(
+                f"cannot decode: rank {self.rank} < generation size {self.k}"
+            )
+        # Rows are in RREF with k pivots, so the coefficient part is a
+        # permutation-free identity: row i has pivot column i.
+        payloads = self.field.zeros((self.k, self.payload_length))
+        for row, pivot in zip(self._rows, self._pivot_of_row):
+            payloads[pivot] = row[self.k :]
+        return payloads
+
+    def matches_generation(self, generation: Generation) -> bool:
+        """Convenience check used by tests: decoded payloads equal the ground truth."""
+        if not self.is_complete:
+            return False
+        return bool(np.array_equal(self.decode(), generation.payload_matrix))
+
+    # ------------------------------------------------------------------
+    # Internal row operations
+    # ------------------------------------------------------------------
+    def _reduce_against_stored(self, row: np.ndarray) -> np.ndarray:
+        """Eliminate the stored pivots from ``row`` (returns a new array)."""
+        field = self.field
+        row = row.copy()
+        for stored, pivot in zip(self._rows, self._pivot_of_row):
+            factor = int(row[pivot])
+            if factor == 0:
+                continue
+            row = field.sub(row, field.scalar_mul(factor, stored))
+        return row
+
+    def _first_nonzero_coefficient(self, row: np.ndarray) -> int | None:
+        """Index of the first non-zero entry in the coefficient part, or ``None``."""
+        nonzero = np.nonzero(row[: self.k])[0]
+        if nonzero.size == 0:
+            return None
+        return int(nonzero[0])
+
+    def _insert_row(self, row: np.ndarray, pivot: int) -> None:
+        """Normalise ``row``, back-substitute into stored rows, insert in pivot order."""
+        field = self.field
+        pivot_value = int(row[pivot])
+        if pivot_value != 1:
+            row = field.scalar_mul(int(field.inv(pivot_value)), row)
+        # Eliminate the new pivot column from every stored row (keeps RREF).
+        for index, stored in enumerate(self._rows):
+            factor = int(stored[pivot])
+            if factor == 0:
+                continue
+            self._rows[index] = field.sub(stored, field.scalar_mul(factor, row))
+        # Insert keeping rows ordered by pivot column.
+        position = 0
+        while position < len(self._pivot_of_row) and self._pivot_of_row[position] < pivot:
+            position += 1
+        self._rows.insert(position, row)
+        self._pivot_of_row.insert(position, pivot)
+
+    def __repr__(self) -> str:
+        return (
+            f"RlncDecoder(rank={self.rank}/{self.k}, q={self.field.order}, "
+            f"received={self._received}, helpful={self._helpful})"
+        )

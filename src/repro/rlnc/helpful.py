@@ -1,0 +1,76 @@
+"""Helpfulness predicates (Definition 3 of the paper).
+
+A node ``x`` is *helpful* to a node ``y`` iff a random linear combination
+constructed by ``x`` can be linearly independent of everything ``y`` already
+stores — equivalently, iff the subspace spanned by ``x``'s equations is not
+contained in the subspace spanned by ``y``'s equations.
+
+Lemma 2.1 of Deb et al. (cited as [8] in the paper) lower-bounds the
+probability that a packet from a helpful node is a *helpful message* by
+``1 - 1/q``; :func:`helpful_message_probability_lower_bound` exposes that
+constant because the queueing reduction (Theorem 1) uses it as the service
+probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gf.field import GaloisField
+from ..gf.linalg import rank as matrix_rank
+from .decoder import RlncDecoder
+
+__all__ = [
+    "is_helpful_node",
+    "helpful_message_probability_lower_bound",
+    "subspace_dimension_gain",
+]
+
+
+def helpful_message_probability_lower_bound(q: int) -> float:
+    """The ``1 - 1/q`` lower bound on Pr[packet from a helpful node is helpful]."""
+    if q < 2:
+        raise ValueError(f"field size must be at least 2, got {q}")
+    return 1.0 - 1.0 / q
+
+
+def _stacked_rank(field: GaloisField, top: np.ndarray, bottom: np.ndarray) -> int:
+    if top.size == 0 and bottom.size == 0:
+        return 0
+    if top.size == 0:
+        return matrix_rank(field, bottom)
+    if bottom.size == 0:
+        return matrix_rank(field, top)
+    return matrix_rank(field, np.vstack([top, bottom]))
+
+
+def is_helpful_node(sender: RlncDecoder, receiver: RlncDecoder) -> bool:
+    """Return ``True`` if ``sender`` is a helpful node for ``receiver``.
+
+    Definition 3: the sender can construct a combination independent of the
+    receiver's equations, which happens exactly when the sender's subspace is
+    not contained in the receiver's subspace.
+    """
+    if sender.rank == 0:
+        return False
+    if receiver.is_complete:
+        return False
+    field = sender.field
+    sender_matrix = sender.coefficient_matrix()
+    receiver_matrix = receiver.coefficient_matrix()
+    joint = _stacked_rank(field, receiver_matrix, sender_matrix)
+    return joint > receiver.rank
+
+
+def subspace_dimension_gain(sender: RlncDecoder, receiver: RlncDecoder) -> int:
+    """How many dimensions the receiver could gain from the sender in the limit.
+
+    This is ``dim(span(sender) + span(receiver)) - dim(span(receiver))`` — the
+    maximum number of helpful messages the sender could ever provide without
+    learning anything new itself.  Used by analysis utilities and tests.
+    """
+    field = sender.field
+    sender_matrix = sender.coefficient_matrix()
+    receiver_matrix = receiver.coefficient_matrix()
+    joint = _stacked_rank(field, receiver_matrix, sender_matrix)
+    return joint - receiver.rank

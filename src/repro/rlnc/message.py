@@ -1,0 +1,116 @@
+"""Source messages and generations for random linear network coding.
+
+The paper's setting (Section 2): there are ``k <= n`` initial messages
+``x_1 .. x_k``, each represented as a vector in ``F_q^r``.  A *generation* is
+the ordered collection of those ``k`` source messages — the unknowns of the
+linear system every node eventually solves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DecodingError
+from ..gf.field import GaloisField
+
+__all__ = ["SourceMessage", "Generation"]
+
+
+@dataclass(frozen=True)
+class SourceMessage:
+    """A single source message: its index in the generation and its payload.
+
+    Attributes
+    ----------
+    index:
+        Position ``i`` of the message within the generation, ``0 <= i < k``.
+        The unit coefficient vector ``e_i`` identifies it inside coded packets.
+    payload:
+        The message content as a vector of ``r`` field elements.
+    """
+
+    index: int
+    payload: tuple[int, ...]
+
+    def payload_array(self, field: GaloisField) -> np.ndarray:
+        """The payload as a validated numpy array of field elements."""
+        return field.validate(np.array(self.payload, dtype=np.int64))
+
+
+class Generation:
+    """The full set of ``k`` source messages over a common field.
+
+    The generation owns the ground truth that simulations check decoders
+    against: after a protocol completes, every node's decoded matrix must
+    equal :attr:`payload_matrix` exactly.
+    """
+
+    def __init__(self, field: GaloisField, payloads: np.ndarray) -> None:
+        payloads = field.validate(payloads)
+        if payloads.ndim != 2:
+            raise DecodingError(
+                f"generation payloads must be a (k, r) matrix, got shape {payloads.shape}"
+            )
+        if payloads.shape[0] < 1 or payloads.shape[1] < 1:
+            raise DecodingError(
+                f"generation requires k >= 1 and r >= 1, got shape {payloads.shape}"
+            )
+        self.field = field
+        self._payloads = payloads.copy()
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        field: GaloisField,
+        k: int,
+        payload_length: int,
+        rng: np.random.Generator,
+    ) -> "Generation":
+        """A generation of ``k`` uniformly random messages of length ``payload_length``."""
+        payloads = field.random_elements(rng, (k, payload_length))
+        return cls(field, payloads)
+
+    @classmethod
+    def from_values(cls, field: GaloisField, values: list[list[int]]) -> "Generation":
+        """Build a generation from explicit payload rows (useful in tests)."""
+        return cls(field, np.array(values, dtype=np.int64))
+
+    # -- accessors --------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """Number of source messages."""
+        return int(self._payloads.shape[0])
+
+    @property
+    def payload_length(self) -> int:
+        """Number of field symbols per message (``r`` in the paper)."""
+        return int(self._payloads.shape[1])
+
+    @property
+    def payload_matrix(self) -> np.ndarray:
+        """Copy of the ``(k, r)`` matrix whose rows are the source payloads."""
+        return self._payloads.copy()
+
+    def message(self, index: int) -> SourceMessage:
+        """The ``index``-th source message."""
+        if not 0 <= index < self.k:
+            raise DecodingError(
+                f"message index {index} out of range for generation of size {self.k}"
+            )
+        return SourceMessage(index=index, payload=tuple(int(x) for x in self._payloads[index]))
+
+    def messages(self) -> list[SourceMessage]:
+        """All source messages, in index order."""
+        return [self.message(i) for i in range(self.k)]
+
+    def __len__(self) -> int:
+        return self.k
+
+    def __repr__(self) -> str:
+        return (
+            f"Generation(k={self.k}, r={self.payload_length}, "
+            f"q={self.field.order})"
+        )

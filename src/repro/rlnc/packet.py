@@ -1,0 +1,87 @@
+"""Coded packets: the on-the-wire unit of algebraic gossip.
+
+Every message sent by algebraic gossip is a linear equation over ``F_q``: a
+coefficient vector of length ``k`` (one coefficient per source message) and
+the corresponding combination of payloads, a vector of length ``r``.  The
+packet size is therefore ``(k + r) * log2(q)`` bits, which is exactly the
+"bounded message size" regime the paper studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DecodingError
+from ..gf.field import GaloisField
+
+__all__ = ["CodedPacket"]
+
+
+@dataclass(frozen=True)
+class CodedPacket:
+    """An RLNC-coded packet: coefficients plus combined payload.
+
+    Attributes
+    ----------
+    coefficients:
+        Length-``k`` vector of field elements; entry ``i`` multiplies source
+        message ``x_i`` in the linear equation this packet represents.
+    payload:
+        Length-``r`` vector equal to ``sum_i coefficients[i] * x_i``.
+    """
+
+    coefficients: tuple[int, ...]
+    payload: tuple[int, ...]
+
+    @classmethod
+    def from_arrays(cls, coefficients: np.ndarray, payload: np.ndarray) -> "CodedPacket":
+        """Build a packet from numpy arrays of field elements."""
+        return cls(
+            coefficients=tuple(int(x) for x in np.asarray(coefficients).ravel()),
+            payload=tuple(int(x) for x in np.asarray(payload).ravel()),
+        )
+
+    @classmethod
+    def unit(
+        cls, field: GaloisField, k: int, index: int, payload: np.ndarray
+    ) -> "CodedPacket":
+        """The trivial encoding of source message ``index``: coefficients ``e_index``."""
+        if not 0 <= index < k:
+            raise DecodingError(f"unit packet index {index} out of range for k={k}")
+        coefficients = field.zeros(k)
+        coefficients[index] = 1
+        return cls.from_arrays(coefficients, field.validate(payload))
+
+    @property
+    def k(self) -> int:
+        """Generation size this packet was encoded against."""
+        return len(self.coefficients)
+
+    @property
+    def payload_length(self) -> int:
+        """Number of payload symbols."""
+        return len(self.payload)
+
+    @property
+    def is_zero(self) -> bool:
+        """``True`` when all coefficients are zero (the packet carries nothing)."""
+        return all(c == 0 for c in self.coefficients)
+
+    def coefficient_array(self, field: GaloisField) -> np.ndarray:
+        """Coefficients as a validated numpy array."""
+        return field.validate(np.array(self.coefficients, dtype=np.int64))
+
+    def payload_array(self, field: GaloisField) -> np.ndarray:
+        """Payload as a validated numpy array."""
+        return field.validate(np.array(self.payload, dtype=np.int64))
+
+    def size_in_bits(self, field: GaloisField) -> int:
+        """Wire size of the packet in bits: ``(k + r) * ceil(log2 q)``."""
+        symbol_bits = max(1, (field.order - 1).bit_length())
+        return (self.k + self.payload_length) * symbol_bits
+
+    def __repr__(self) -> str:
+        nonzero = sum(1 for c in self.coefficients if c != 0)
+        return f"CodedPacket(k={self.k}, r={self.payload_length}, nonzero_coeffs={nonzero})"

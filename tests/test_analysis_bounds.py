@@ -1,0 +1,157 @@
+"""Unit tests for the closed-form bound evaluators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    brr_broadcast_upper_bound,
+    claim1_min_diameter,
+    constant_degree_upper_bound,
+    haeupler_upper_bound,
+    is_protocol_upper_bound,
+    k_dissemination_lower_bound,
+    lemma1_tree_gossip_bound,
+    lemma2_path_degree_bound,
+    log2ceil,
+    tag_broadcast_upper_bound,
+    tag_upper_bound,
+    tag_with_brr_upper_bound,
+    tag_with_is_upper_bound,
+    theorem2_bound_rounds,
+    uniform_ag_upper_bound,
+)
+from repro.errors import AnalysisError
+
+
+class TestLog2Ceil:
+    def test_values(self):
+        assert log2ceil(1) == 1
+        assert log2ceil(2) == 1
+        assert log2ceil(3) == 2
+        assert log2ceil(1024) == 10
+
+    def test_invalid(self):
+        with pytest.raises(AnalysisError):
+            log2ceil(0)
+
+
+class TestTheorem1Bound:
+    def test_formula(self):
+        n, k, d, delta = 64, 16, 10, 4
+        assert uniform_ag_upper_bound(n, k, d, delta) == pytest.approx(
+            (16 + math.log(64) + 10) * 4
+        )
+
+    def test_monotonicity(self):
+        base = uniform_ag_upper_bound(64, 16, 10, 4)
+        assert uniform_ag_upper_bound(64, 32, 10, 4) > base
+        assert uniform_ag_upper_bound(64, 16, 20, 4) > base
+        assert uniform_ag_upper_bound(64, 16, 10, 8) > base
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            uniform_ag_upper_bound(0, 1, 1, 1)
+        with pytest.raises(AnalysisError):
+            uniform_ag_upper_bound(10, -1, 1, 1)
+
+
+class TestTheorem3Bounds:
+    def test_constant_degree_upper_is_k_plus_d(self):
+        assert constant_degree_upper_bound(10, 7) == 17
+
+    def test_lower_bound_sync_includes_diameter(self):
+        sync = k_dissemination_lower_bound(10, 8, synchronous=True)
+        async_ = k_dissemination_lower_bound(10, 8, synchronous=False)
+        assert sync == pytest.approx(9.0)
+        assert async_ == pytest.approx(5.0)
+        assert sync > async_
+
+    def test_upper_and_lower_sandwich(self):
+        """Θ(k + D): the upper bound is within a constant factor of the lower."""
+        for k, d in [(4, 4), (16, 8), (64, 20)]:
+            upper = constant_degree_upper_bound(k, d)
+            lower = k_dissemination_lower_bound(k, d, synchronous=True)
+            assert upper / lower <= 2.1
+
+
+class TestTagBounds:
+    def test_theorem4(self):
+        value = tag_upper_bound(100, 20, 10, 50)
+        assert value == pytest.approx(20 + math.log(100) + 10 + 50)
+        with pytest.raises(AnalysisError):
+            tag_upper_bound(100, 20, -1, 50)
+
+    def test_broadcast_variant_drops_tree_diameter(self):
+        assert tag_broadcast_upper_bound(100, 20, 50) < tag_upper_bound(100, 20, 30, 50)
+
+    def test_brr_and_combination(self):
+        assert brr_broadcast_upper_bound(40) == 120
+        assert tag_with_brr_upper_bound(40, 40) == pytest.approx(
+            40 + math.log(40) + 120
+        )
+
+    def test_tag_with_brr_is_theta_n_for_k_equal_n(self):
+        """For k = n the bound is linear in n (the paper's headline result)."""
+        ratios = [tag_with_brr_upper_bound(n, n) / n for n in (32, 64, 128, 256)]
+        assert max(ratios) - min(ratios) < 1.0  # converges to a constant (≈ 4)
+
+
+class TestISBounds:
+    def test_is_protocol_bound_decreases_with_conductance(self):
+        slow = is_protocol_upper_bound(256, c=2, weak_conductance=0.1)
+        fast = is_protocol_upper_bound(256, c=2, weak_conductance=0.9)
+        assert fast < slow
+
+    def test_theorem7_k_dominates_for_large_k(self):
+        """For k = log^{2p+1} n and Φ_c = 1/log^p n the k term dominates the bound."""
+        n = 4096
+        p = 1
+        c = math.log(n) ** p
+        phi = 1 / math.log(n) ** p
+        k = int(math.log(n) ** (2 * p + 1))
+        total = tag_with_is_upper_bound(n, k, c, phi)
+        assert total <= 3 * k + 20
+
+    def test_invalid(self):
+        with pytest.raises(AnalysisError):
+            is_protocol_upper_bound(10, c=0, weak_conductance=0.5)
+
+
+class TestHaeuplerComparison:
+    def test_formula(self):
+        assert haeupler_upper_bound(10, 0.5, 0.25, 100) == pytest.approx(
+            20 + math.log(100) ** 2 / 0.25
+        )
+
+    def test_line_improvement_factor_grows_with_n(self):
+        """Table 2: on the line our bound wins by ~log² n."""
+        factors = []
+        for n in (64, 256, 1024):
+            ours = uniform_ag_upper_bound(n, n, n - 1, 2)
+            haeupler = haeupler_upper_bound(n, 1.0 / n, 1.0 / n**2, n)
+            factors.append(haeupler / ours)
+        assert factors[0] < factors[1] < factors[2]
+
+
+class TestQueueingAndStructuralBounds:
+    def test_theorem2_rounds(self):
+        assert theorem2_bound_rounds(10, 5, 100, 0.5) == pytest.approx(
+            (10 + 5 + math.log(100)) / 0.5
+        )
+
+    def test_lemma1(self):
+        assert lemma1_tree_gossip_bound(100, 10, 7) == pytest.approx(
+            10 + math.log(100) + 7
+        )
+
+    def test_claim1(self):
+        assert claim1_min_diameter(64, 2) == pytest.approx(4.0)
+        assert claim1_min_diameter(3, 1) == 2.0
+
+    def test_lemma2(self):
+        assert lemma2_path_degree_bound(20) == 60
+        with pytest.raises(AnalysisError):
+            lemma2_path_degree_bound(0)

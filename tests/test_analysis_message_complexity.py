@@ -1,0 +1,97 @@
+"""Tests for message/bit complexity accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    message_complexity,
+    minimum_helpful_receptions,
+    minimum_rounds_from_messages,
+    packet_size_bits,
+)
+from repro.core import RunResult, SimulationConfig
+from repro.errors import AnalysisError
+from repro.gf import GF
+from repro.gossip import GossipEngine
+from repro.graphs import complete_graph, ring_graph
+from repro.protocols import AlgebraicGossip
+from repro.rlnc import Generation
+from repro.experiments import all_to_all_placement
+
+
+class TestClosedForms:
+    def test_packet_size(self):
+        # (k + r) * log2(q): (8 + 4) * 4 bits for GF(16).
+        assert packet_size_bits(8, 4, 16) == 48
+        assert packet_size_bits(8, 4, 2) == 12
+        with pytest.raises(AnalysisError):
+            packet_size_bits(0, 4, 16)
+        with pytest.raises(AnalysisError):
+            packet_size_bits(8, 4, 1)
+
+    def test_minimum_receptions(self):
+        assert minimum_helpful_receptions(10, 5) == 50
+        assert minimum_helpful_receptions(10, 5, seeded=5) == 45
+        assert minimum_helpful_receptions(2, 1, seeded=10) == 0
+        with pytest.raises(AnalysisError):
+            minimum_helpful_receptions(0, 5)
+        with pytest.raises(AnalysisError):
+            minimum_helpful_receptions(5, 5, seeded=-1)
+
+    def test_minimum_rounds(self):
+        assert minimum_rounds_from_messages(10, 8, synchronous=True) == 4.0
+        assert minimum_rounds_from_messages(10, 8, synchronous=False) == 4.0
+        with pytest.raises(AnalysisError):
+            minimum_rounds_from_messages(0, 8, synchronous=True)
+
+
+class TestRunAccounting:
+    def run_ag(self, graph, seed=0):
+        n = graph.number_of_nodes()
+        config = SimulationConfig(max_rounds=50_000)
+        rng = np.random.default_rng(seed)
+        generation = Generation.random(GF(16), n, 2, rng)
+        process = AlgebraicGossip(graph, generation, all_to_all_placement(graph), config, rng)
+        result = GossipEngine(graph, process, config, rng).run()
+        return result, config
+
+    def test_accounting_consistency(self):
+        graph = ring_graph(8)
+        result, config = self.run_ag(graph)
+        accounting = message_complexity(
+            result, payload_length=config.payload_length,
+            field_size=config.field_size, seeded=8,
+        )
+        assert accounting.packets_sent == result.messages_sent
+        assert accounting.helpful_packets == result.helpful_messages
+        # Every node needs rank 8; the all-to-all placement seeds one per node.
+        assert accounting.minimum_helpful == 8 * 8 - 8
+        assert accounting.helpful_packets >= accounting.minimum_helpful
+        assert accounting.total_bits == accounting.packet_bits * accounting.packets_sent
+        assert 0 < accounting.helpful_fraction <= 1
+        assert accounting.overhead_factor >= 1.0
+
+    def test_complete_graph_is_more_efficient_than_ring(self):
+        """On the complete graph nearly every packet is helpful; on the ring the
+        EXCHANGE traffic is more redundant, so the overhead factor is larger."""
+        ring_result, config = self.run_ag(ring_graph(10), seed=1)
+        complete_result, _ = self.run_ag(complete_graph(10), seed=1)
+        ring_acc = message_complexity(ring_result, payload_length=2, field_size=16, seeded=10)
+        complete_acc = message_complexity(complete_result, payload_length=2, field_size=16, seeded=10)
+        assert complete_acc.overhead_factor <= ring_acc.overhead_factor
+
+    def test_as_dict_round_trip(self):
+        graph = ring_graph(6)
+        result, _ = self.run_ag(graph, seed=2)
+        accounting = message_complexity(result, payload_length=2, field_size=16, seeded=6)
+        data = accounting.as_dict()
+        assert data["n"] == 6
+        assert data["packets_sent"] == result.messages_sent
+        assert "overhead_factor" in data
+
+    def test_missing_k_rejected(self):
+        bogus = RunResult(rounds=1, timeslots=1, completed=True, n=4, k=0)
+        with pytest.raises(AnalysisError):
+            message_complexity(bogus, payload_length=2, field_size=16)

@@ -1,0 +1,118 @@
+"""Tests for parameter sweeps and the Table 1 / Table 2 generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    SweepCase,
+    format_table,
+    run_sweep,
+    scaling_table,
+    table1_rows,
+    table2_rows,
+)
+from repro.core import SimulationConfig
+from repro.errors import AnalysisError
+from repro.gf import GF
+from repro.graphs import complete_graph, line_graph, ring_graph
+from repro.protocols import AlgebraicGossip
+from repro.rlnc import Generation
+from repro.experiments import all_to_all_placement
+
+
+def make_case(n, label=None):
+    graph = ring_graph(n)
+    config = SimulationConfig(max_rounds=50_000)
+
+    def factory(g, rng):
+        generation = Generation.random(GF(16), n, 2, rng)
+        return AlgebraicGossip(g, generation, all_to_all_placement(g), config, rng)
+
+    return SweepCase(
+        label=label or f"ring n={n}",
+        value=float(n),
+        graph=graph,
+        protocol_factory=factory,
+        config=config,
+        bounds={"trivial": 100.0 * n},
+    )
+
+
+class TestSweep:
+    def test_run_sweep_produces_point_per_case(self):
+        points = run_sweep([make_case(6), make_case(8)], trials=2, seed=0)
+        assert len(points) == 2
+        assert points[0].value == 6
+        assert points[1].value == 8
+        assert all(point.stats.trials == 2 for point in points)
+        assert all(point.ratio_to("trivial") < 1.0 for point in points)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(AnalysisError):
+            run_sweep([], trials=1)
+
+    def test_unknown_bound_name(self):
+        points = run_sweep([make_case(6)], trials=1, seed=0)
+        with pytest.raises(AnalysisError):
+            points[0].ratio_to("nonexistent")
+
+    def test_scaling_table_columns(self):
+        points = run_sweep([make_case(6)], trials=2, seed=0)
+        rows = scaling_table(points, bound_names=("trivial",), value_header="n")
+        assert rows[0]["n"] == 6
+        assert "mean_rounds" in rows[0]
+        assert "ratio(trivial)" in rows[0]
+
+
+class TestTable1:
+    def test_rows_cover_all_protocols(self):
+        graphs = {"ring": ring_graph(16), "complete": complete_graph(16)}
+        rows = table1_rows(16, 8, graphs=graphs)
+        protocols = {row["protocol"] for row in rows}
+        assert {"Uniform AG", "TAG", "TAG + B_RR", "TAG + IS"} <= protocols
+        # The constant-degree ring earns an order-optimal Θ(k + D) row.
+        assert any(row["bound"] == "Θ(k + D)" for row in rows)
+        for row in rows:
+            assert row["bound_value"] >= row["lower_bound_value"]
+
+    def test_requires_at_least_one_graph(self):
+        with pytest.raises(AnalysisError):
+            table1_rows(16, 8, graphs={})
+
+
+class TestTable2:
+    def test_rows_families_and_improvement(self):
+        rows = table2_rows(64, 64)
+        assert [row["graph"] for row in rows] == ["line", "grid", "binary_tree"]
+        for row in rows:
+            assert row["our_bound"] > 0
+            assert row["haeupler_bound"] > 0
+            # Our bound should not lose to Haeupler's on these three families
+            # (that is the entire point of Table 2).
+            assert row["improvement_factor"] >= 0.8
+
+    def test_improvement_factor_grows_with_n_on_the_line(self):
+        small = table2_rows(32, 32)[0]["improvement_factor"]
+        large = table2_rows(128, 128)[0]["improvement_factor"]
+        assert large > small
+
+    def test_minimum_size(self):
+        with pytest.raises(AnalysisError):
+            table2_rows(4, 4)
+
+
+class TestFormatTable:
+    def test_renders_headers_and_rows(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(AnalysisError):
+            format_table([{"a": 1}, {"b": 2}])
+        with pytest.raises(AnalysisError):
+            format_table([])

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.topology == "ring"
+        assert args.protocol == "uniform"
+        assert args.k is None
+
+    def test_invalid_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--topology", "mystery"])
+
+    def test_experiment_requires_known_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "E99-unknown"])
+
+
+class TestRunCommand:
+    def test_uniform_run_prints_summary(self, capsys):
+        exit_code = main(["run", "--topology", "ring", "--n", "8", "--k", "4", "--seed", "1"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "uniform on ring" in captured.out
+        assert "completed after" in captured.out
+
+    def test_tag_run(self, capsys):
+        exit_code = main(["run", "--topology", "barbell", "--n", "10",
+                          "--protocol", "tag", "--seed", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "tag on barbell" in captured.out
+        assert "spanning_tree_protocol" in captured.out
+
+    def test_asynchronous_run(self, capsys):
+        exit_code = main(["run", "--topology", "line", "--n", "8", "--k", "4",
+                          "--time-model", "asynchronous", "--seed", "3"])
+        assert exit_code == 0
+        assert "completed after" in capsys.readouterr().out
+
+    def test_bad_field_size_is_reported_as_error(self, capsys):
+        exit_code = main(["run", "--field-size", "6"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err
+
+
+class TestExperimentCommand:
+    def test_runs_registered_experiment(self, capsys):
+        exit_code = main(["experiment", "E2-constant-degree", "--trials", "1"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "E2-constant-degree" in captured.out
+        assert "mean_rounds" in captured.out
+
+
+class TestTablesCommand:
+    def test_prints_both_tables(self, capsys):
+        exit_code = main(["tables", "--n", "16", "--k", "8"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Table 1 (analytic)" in captured.out
+        assert "Table 2" in captured.out
+        assert "improvement_factor" in captured.out

@@ -1,0 +1,97 @@
+"""Unit tests for polynomial helpers used in field construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FieldError
+from repro.gf.polynomial import (
+    CONWAY_BINARY_POLYNOMIALS,
+    factor_prime_power,
+    find_binary_irreducible,
+    find_irreducible,
+    gf2_poly_degree,
+    gf2_poly_is_irreducible,
+    gf2_poly_mulmod,
+    is_prime,
+)
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        assert all(is_prime(p) for p in (2, 3, 5, 7, 11, 13, 127, 251))
+
+    def test_small_composites_and_edge_cases(self):
+        assert not any(is_prime(v) for v in (-3, 0, 1, 4, 6, 9, 100, 121, 255))
+
+
+class TestFactorPrimePower:
+    @pytest.mark.parametrize(
+        "order, expected",
+        [(2, (2, 1)), (4, (2, 2)), (8, (2, 3)), (9, (3, 2)), (16, (2, 4)),
+         (27, (3, 3)), (25, (5, 2)), (256, (2, 8)), (7, (7, 1)), (121, (11, 2))],
+    )
+    def test_prime_powers(self, order, expected):
+        assert factor_prime_power(order) == expected
+
+    @pytest.mark.parametrize("order", [1, 0, 6, 12, 15, 100, 200])
+    def test_non_prime_powers_rejected(self, order):
+        with pytest.raises(FieldError):
+            factor_prime_power(order)
+
+
+class TestGF2Polynomials:
+    def test_degree(self):
+        assert gf2_poly_degree(0) == -1
+        assert gf2_poly_degree(1) == 0
+        assert gf2_poly_degree(0b10011) == 4
+
+    def test_mulmod_matches_known_gf16_product(self):
+        # In GF(16) with x^4 + x + 1: x * x^3 = x^4 = x + 1 -> 0b0011.
+        assert gf2_poly_mulmod(0b0010, 0b1000, 0b10011) == 0b0011
+
+    def test_mulmod_identity(self):
+        modulus = CONWAY_BINARY_POLYNOMIALS[8]
+        for value in (1, 2, 37, 255):
+            assert gf2_poly_mulmod(value, 1, modulus) == value
+
+    def test_standard_polynomials_are_irreducible(self):
+        for degree, poly in CONWAY_BINARY_POLYNOMIALS.items():
+            if degree >= 2:
+                assert gf2_poly_is_irreducible(poly), f"degree {degree}"
+
+    def test_reducible_polynomial_detected(self):
+        # x^2 = x * x is reducible; x^4 + 1 = (x+1)^4 is reducible.
+        assert not gf2_poly_is_irreducible(0b100)
+        assert not gf2_poly_is_irreducible(0b10001)
+
+    def test_find_binary_irreducible_unusual_degree(self):
+        poly = find_binary_irreducible(9)
+        assert gf2_poly_degree(poly) == 9
+        assert gf2_poly_is_irreducible(poly)
+
+    def test_find_binary_irreducible_rejects_bad_degree(self):
+        with pytest.raises(FieldError):
+            find_binary_irreducible(0)
+
+
+class TestFindIrreducible:
+    def test_degree_one_is_x(self):
+        assert find_irreducible(5, 1) == (0, 1)
+
+    @pytest.mark.parametrize("p, m", [(3, 2), (3, 3), (5, 2), (7, 2), (11, 2)])
+    def test_no_roots_in_base_field(self, p, m):
+        coeffs = find_irreducible(p, m)
+        assert len(coeffs) == m + 1
+        assert coeffs[-1] == 1  # monic
+        for x in range(p):
+            value = sum(c * x**i for i, c in enumerate(coeffs)) % p
+            assert value != 0
+
+    def test_large_degree_non_binary_rejected(self):
+        with pytest.raises(FieldError):
+            find_irreducible(3, 4)
+
+    def test_non_prime_characteristic_rejected(self):
+        with pytest.raises(FieldError):
+            find_irreducible(4, 2)

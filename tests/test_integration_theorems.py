@@ -1,0 +1,160 @@
+"""Integration tests: the paper's theorems hold *in shape* at small scale.
+
+These are the executable versions of the claims listed in Table 1, run at
+sizes small enough for CI.  They check bounded ratios against the closed-form
+bounds and the qualitative orderings (who wins on which topology), never the
+asymptotic constants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    constant_degree_upper_bound,
+    fit_power_law,
+    run_trials,
+    tag_with_brr_upper_bound,
+    uniform_ag_upper_bound,
+)
+from repro.core import SimulationConfig, TimeModel
+from repro.gf import GF
+from repro.graphs import (
+    barbell_graph,
+    diameter,
+    line_graph,
+    max_degree,
+    ring_graph,
+)
+from repro.protocols import AlgebraicGossip, RoundRobinBroadcastTree, TagProtocol
+from repro.rlnc import Generation
+from repro.experiments import all_to_all_placement, spread_placement, tag_case, uniform_ag_case
+from repro.analysis.sweep import run_sweep
+
+
+def ag_factory(k, config):
+    def factory(graph, rng):
+        n = graph.number_of_nodes()
+        kk = min(k, n)
+        generation = Generation.random(GF(config.field_size), kk, 2, rng)
+        placement = all_to_all_placement(graph) if kk >= n else spread_placement(graph, kk)
+        return AlgebraicGossip(graph, generation, placement, config, rng)
+
+    return factory
+
+
+def tag_factory(k, config):
+    def factory(graph, rng):
+        n = graph.number_of_nodes()
+        kk = min(k, n)
+        generation = Generation.random(GF(config.field_size), kk, 2, rng)
+        placement = all_to_all_placement(graph) if kk >= n else spread_placement(graph, kk)
+        return TagProtocol(
+            graph, generation, placement, config, rng,
+            lambda g, r: RoundRobinBroadcastTree(g, 0, r),
+        )
+
+    return factory
+
+
+class TestTheorem1Shape:
+    """Uniform AG stays below a constant multiple of (k + log n + D)Δ."""
+
+    @pytest.mark.parametrize("time_model", [TimeModel.SYNCHRONOUS, TimeModel.ASYNCHRONOUS])
+    @pytest.mark.parametrize("builder, n", [(line_graph, 12), (ring_graph, 12),
+                                            (barbell_graph, 12)])
+    def test_measured_below_bound(self, builder, n, time_model):
+        graph = builder(n)
+        actual_n = graph.number_of_nodes()
+        config = SimulationConfig(time_model=time_model, max_rounds=200_000)
+        stats = run_trials(graph, ag_factory(actual_n, config), config, trials=3, seed=11)
+        bound = uniform_ag_upper_bound(
+            actual_n, actual_n, diameter(graph), max_degree(graph)
+        )
+        assert stats.whp <= bound  # the theorem's constants are generous
+
+
+class TestTheorem3Shape:
+    """On constant-degree graphs the stopping time grows linearly in k and in D."""
+
+    def test_linear_growth_in_k_on_the_ring(self):
+        graph = ring_graph(12)
+        config = SimulationConfig(max_rounds=100_000)
+        ks = [3, 6, 12]
+        means = []
+        for k in ks:
+            stats = run_trials(graph, ag_factory(k, config), config, trials=3, seed=13)
+            means.append(stats.mean)
+            assert stats.whp <= 6 * constant_degree_upper_bound(k, diameter(graph))
+        assert means[0] <= means[1] <= means[2]
+
+    def test_sublinear_in_n_for_fixed_k_is_impossible_below_diameter(self):
+        """The stopping time must grow at least like the diameter on the line."""
+        config = SimulationConfig(max_rounds=100_000)
+        sizes = [8, 16, 24]
+        means = []
+        for n in sizes:
+            graph = line_graph(n)
+            stats = run_trials(graph, ag_factory(2, config), config, trials=3, seed=17)
+            means.append(stats.mean)
+            assert stats.mean >= diameter(graph) / 2
+        assert means[-1] > means[0]
+
+
+class TestTheorem4And5Shape:
+    """TAG + B_RR is Θ(n) for k = n on any graph, including the barbell."""
+
+    def test_tag_brr_linear_in_n_on_barbell(self):
+        config = SimulationConfig(max_rounds=200_000)
+        sizes = [8, 12, 16, 20]
+        means = []
+        for n in sizes:
+            graph = barbell_graph(n)
+            stats = run_trials(graph, tag_factory(n, config), config, trials=3, seed=19)
+            means.append(stats.mean)
+            assert stats.whp <= 3 * tag_with_brr_upper_bound(n, n)
+        fit = fit_power_law(sizes, means)
+        # Θ(n): the growth exponent should be close to 1 (allow noise at small n).
+        assert 0.5 <= fit.exponent <= 1.6
+
+    def test_tag_beats_uniform_ag_on_barbell(self):
+        """The headline speed-up: on the barbell TAG wins once n is past the
+        small-constant regime, and its advantage grows with n (the paper's
+        speed-up ratio is Θ(n) asymptotically)."""
+        config = SimulationConfig(max_rounds=400_000)
+        gaps = []
+        for n in (12, 24):
+            graph = barbell_graph(n)
+            uniform = run_trials(graph, ag_factory(n, config), config, trials=2, seed=23)
+            tag = run_trials(graph, tag_factory(n, config), config, trials=2, seed=23)
+            gaps.append(uniform.mean / tag.mean)
+        assert gaps[-1] > 1.0  # TAG is faster at the larger size
+        assert gaps[-1] > gaps[0]  # and the advantage grows with n
+
+
+class TestUniformAgBarbellScaling:
+    """Uniform AG on the barbell scales super-linearly in n (the Ω(n²) regime)."""
+
+    def test_superlinear_growth(self):
+        config = SimulationConfig(max_rounds=400_000)
+        sizes = [8, 12, 16, 20]
+        means = []
+        for n in sizes:
+            graph = barbell_graph(n)
+            stats = run_trials(graph, ag_factory(n, config), config, trials=2, seed=29)
+            means.append(stats.mean)
+        fit = fit_power_law(sizes, means)
+        assert fit.exponent > 1.2  # clearly super-linear, heading towards 2
+
+
+class TestSweepIntegration:
+    def test_experiment_case_builders_run_end_to_end(self):
+        cases = [
+            uniform_ag_case("ring", 8, 8),
+            tag_case("barbell", 8, 8, spanning_tree="brr"),
+        ]
+        points = run_sweep(cases, trials=1, seed=31)
+        assert len(points) == 2
+        assert all(point.stats.trials == 1 for point in points)
+        assert points[0].ratio_to("theorem1") <= 1.5

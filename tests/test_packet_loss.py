@@ -1,0 +1,77 @@
+"""Failure injection: gossip under independent packet loss.
+
+The paper assumes reliable links; the engine's ``loss_probability`` knob lets
+robustness be measured.  The invariants: lossy runs still complete and still
+decode correctly (RLNC never delivers wrong data), they are slower on average
+than loss-free runs, and the engine's drop accounting is consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.gf import GF
+from repro.gossip import EventTrace, GossipEngine
+from repro.graphs import ring_graph
+from repro.protocols import AlgebraicGossip, RoundRobinBroadcastTree, TagProtocol
+from repro.rlnc import Generation
+from repro.experiments import all_to_all_placement
+
+
+def run_with_loss(loss, seed=0, protocol="uniform", n=8, trace=None):
+    graph = ring_graph(n)
+    config = SimulationConfig(loss_probability=loss, max_rounds=100_000)
+    rng = np.random.default_rng(seed)
+    generation = Generation.random(GF(16), n, 2, rng)
+    placement = all_to_all_placement(graph)
+    if protocol == "uniform":
+        process = AlgebraicGossip(graph, generation, placement, config, rng)
+    else:
+        process = TagProtocol(graph, generation, placement, config, rng,
+                              lambda g, r: RoundRobinBroadcastTree(g, 0, r))
+    result = GossipEngine(graph, process, config, rng, trace).run()
+    return process, result
+
+
+class TestLossConfiguration:
+    def test_valid_range(self):
+        SimulationConfig(loss_probability=0.0)
+        SimulationConfig(loss_probability=0.5)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(loss_probability=1.0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(loss_probability=-0.1)
+
+
+class TestLossyRuns:
+    @pytest.mark.parametrize("protocol", ["uniform", "tag"])
+    def test_completes_and_decodes_under_loss(self, protocol):
+        process, result = run_with_loss(0.3, seed=1, protocol=protocol)
+        assert result.completed
+        assert process.all_nodes_decoded_correctly()
+        assert result.metadata["dropped_messages"] > 0
+
+    def test_loss_free_run_reports_no_drop_counter(self):
+        _, result = run_with_loss(0.0, seed=2)
+        assert "dropped_messages" not in result.metadata
+
+    def test_dropped_messages_never_reach_the_trace(self):
+        trace = EventTrace()
+        _, result = run_with_loss(0.4, seed=3, trace=trace)
+        dropped = result.metadata["dropped_messages"]
+        assert len(trace) == result.messages_sent - dropped
+        assert len(trace.helpful_events()) == result.helpful_messages
+
+    def test_higher_loss_is_slower_on_average(self):
+        def mean_rounds(loss):
+            return float(np.mean([run_with_loss(loss, seed=s)[1].rounds for s in range(4)]))
+
+        assert mean_rounds(0.5) > mean_rounds(0.0)
+
+    def test_drop_rate_matches_probability(self):
+        _, result = run_with_loss(0.25, seed=4, n=10)
+        rate = result.metadata["dropped_messages"] / result.messages_sent
+        assert 0.1 <= rate <= 0.4

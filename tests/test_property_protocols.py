@@ -1,0 +1,106 @@
+"""Property-based tests over whole protocol executions.
+
+Invariants checked across random topologies, field sizes, time models and
+message counts:
+
+* every completed run decodes the ground-truth generation exactly,
+* node ranks never exceed ``k`` and completion implies rank ``k`` everywhere,
+* the number of helpful messages delivered is at least ``n·k`` minus the
+  initially seeded knowledge (every rank increase needs one helpful packet),
+* spanning-tree protocols always end with a valid tree of the whole graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GossipAction, SimulationConfig, TimeModel
+from repro.gf import GF
+from repro.gossip import GossipEngine
+from repro.graphs import build_topology
+from repro.protocols import AlgebraicGossip, RoundRobinBroadcastTree, TagProtocol, UniformBroadcastTree
+from repro.rlnc import Generation
+from repro.experiments import spread_placement
+
+TOPOLOGIES = ["line", "ring", "complete", "binary_tree", "barbell", "grid"]
+
+
+@st.composite
+def gossip_scenario(draw):
+    topology = draw(st.sampled_from(TOPOLOGIES))
+    n = draw(st.integers(min_value=6, max_value=12))
+    graph = build_topology(topology, n)
+    actual_n = graph.number_of_nodes()
+    k = draw(st.integers(min_value=1, max_value=actual_n))
+    q = draw(st.sampled_from([2, 16]))
+    time_model = draw(st.sampled_from([TimeModel.SYNCHRONOUS, TimeModel.ASYNCHRONOUS]))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    config = SimulationConfig(
+        field_size=q,
+        payload_length=1,
+        time_model=time_model,
+        action=GossipAction.EXCHANGE,
+        max_rounds=100_000,
+    )
+    return graph, k, config, seed
+
+
+@given(gossip_scenario())
+@settings(max_examples=15, deadline=None)
+def test_uniform_ag_completes_and_decodes_everywhere(scenario):
+    graph, k, config, seed = scenario
+    rng = np.random.default_rng(seed)
+    generation = Generation.random(GF(config.field_size), k, config.payload_length, rng)
+    placement = spread_placement(graph, k)
+    process = AlgebraicGossip(graph, generation, placement, config, rng)
+    result = GossipEngine(graph, process, config, rng).run()
+    assert result.completed
+    assert process.all_nodes_decoded_correctly()
+    assert all(process.rank_of(node) == k for node in graph.nodes())
+    # Every node's rank went from its seed count to k via helpful deliveries.
+    seeded = sum(len(indices) for indices in placement.values())
+    assert result.helpful_messages >= graph.number_of_nodes() * k - seeded
+    assert result.helpful_messages <= result.messages_sent
+
+
+@given(gossip_scenario())
+@settings(max_examples=10, deadline=None)
+def test_tag_completes_and_tree_is_valid(scenario):
+    graph, k, config, seed = scenario
+    rng = np.random.default_rng(seed)
+    generation = Generation.random(GF(config.field_size), k, config.payload_length, rng)
+    placement = spread_placement(graph, k)
+    process = TagProtocol(
+        graph, generation, placement, config, rng,
+        lambda g, r: RoundRobinBroadcastTree(g, sorted(g.nodes())[0], r),
+    )
+    result = GossipEngine(graph, process, config, rng).run()
+    assert result.completed
+    assert process.all_nodes_decoded_correctly()
+    tree = process.stp.current_tree()
+    assert tree is not None
+    assert tree.spans(graph)
+
+
+@given(
+    st.sampled_from(TOPOLOGIES),
+    st.integers(min_value=6, max_value=14),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.sampled_from([TimeModel.SYNCHRONOUS, TimeModel.ASYNCHRONOUS]),
+)
+@settings(max_examples=15, deadline=None)
+def test_broadcast_trees_always_span(topology, n, seed, time_model):
+    graph = build_topology(topology, n)
+    config = SimulationConfig(time_model=time_model, max_rounds=100_000)
+    rng = np.random.default_rng(seed)
+    protocol = UniformBroadcastTree(graph, root=0, rng=rng)
+    result = GossipEngine(graph, protocol, config, rng).run()
+    assert result.completed
+    tree = protocol.current_tree()
+    assert tree.spans(graph)
+    assert tree.root == 0
+    # Parents were assigned by the first informer, so every parent was informed
+    # before its child: depths along the tree are consistent (no cycles).
+    assert tree.depth <= graph.number_of_nodes() - 1

@@ -1,0 +1,157 @@
+"""Unit and integration tests for uniform algebraic gossip (Theorem 1's protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GossipAction, SimulationConfig, TimeModel
+from repro.errors import SimulationError
+from repro.gf import GF
+from repro.gossip import GossipEngine, RoundRobinSelector
+from repro.graphs import complete_graph, line_graph, ring_graph
+from repro.protocols import AlgebraicGossip, build_node_decoders
+from repro.rlnc import Generation
+from repro.experiments import all_to_all_placement, spread_placement
+
+
+def make_protocol(graph, k, config, seed=0, selector=None, placement=None):
+    rng = np.random.default_rng(seed)
+    field = GF(config.field_size)
+    generation = Generation.random(field, k, config.payload_length, rng)
+    if placement is None:
+        placement = (
+            all_to_all_placement(graph)
+            if k >= graph.number_of_nodes()
+            else spread_placement(graph, k)
+        )
+    process = AlgebraicGossip(graph, generation, placement, config, rng, selector)
+    return process, rng
+
+
+class TestConstruction:
+    def test_decoders_seeded_with_placement(self, sync_config):
+        graph = line_graph(6)
+        rng = np.random.default_rng(0)
+        field = GF(sync_config.field_size)
+        generation = Generation.random(field, 3, 2, rng)
+        placement = {0: [0, 1], 5: [2]}
+        decoders, encoders = build_node_decoders(graph, generation, placement, rng)
+        assert decoders[0].rank == 2
+        assert decoders[5].rank == 1
+        assert decoders[3].rank == 0
+        assert set(decoders) == set(graph.nodes())
+        assert set(encoders) == set(graph.nodes())
+
+    def test_missing_message_rejected(self, sync_config):
+        graph = line_graph(4)
+        rng = np.random.default_rng(0)
+        field = GF(sync_config.field_size)
+        generation = Generation.random(field, 3, 2, rng)
+        with pytest.raises(SimulationError):
+            build_node_decoders(graph, generation, {0: [0, 1]}, rng)
+
+    def test_unknown_node_rejected(self, sync_config):
+        graph = line_graph(4)
+        rng = np.random.default_rng(0)
+        field = GF(sync_config.field_size)
+        generation = Generation.random(field, 1, 2, rng)
+        with pytest.raises(SimulationError):
+            build_node_decoders(graph, generation, {99: [0]}, rng)
+
+    def test_field_mismatch_rejected(self, sync_config):
+        graph = line_graph(4)
+        rng = np.random.default_rng(0)
+        generation = Generation.random(GF(256), 2, 2, rng)
+        with pytest.raises(SimulationError):
+            AlgebraicGossip(graph, generation, {0: [0], 1: [1]}, sync_config, rng)
+
+
+class TestDissemination:
+    @pytest.mark.parametrize("time_model", [TimeModel.SYNCHRONOUS, TimeModel.ASYNCHRONOUS])
+    def test_all_to_all_on_ring_completes_and_decodes(self, time_model):
+        graph = ring_graph(8)
+        config = SimulationConfig(time_model=time_model, max_rounds=20_000)
+        process, rng = make_protocol(graph, 8, config, seed=1)
+        result = GossipEngine(graph, process, config, rng).run()
+        assert result.completed
+        assert process.all_nodes_decoded_correctly()
+        assert result.k == 8
+        assert result.helpful_messages >= 8 * 7  # every node needs 8 helpful packets minus seeds
+
+    def test_partial_k_dissemination(self, sync_config):
+        graph = line_graph(10)
+        process, rng = make_protocol(graph, 4, sync_config, seed=2)
+        result = GossipEngine(graph, process, sync_config, rng).run()
+        assert result.completed
+        assert all(process.rank_of(node) == 4 for node in graph.nodes())
+        assert process.decoded_messages(0).shape == (4, sync_config.payload_length)
+
+    @pytest.mark.parametrize("action", [GossipAction.PUSH, GossipAction.PULL, GossipAction.EXCHANGE])
+    def test_all_actions_complete_on_complete_graph(self, action):
+        graph = complete_graph(8)
+        config = SimulationConfig(action=action, max_rounds=20_000)
+        process, rng = make_protocol(graph, 8, config, seed=3)
+        result = GossipEngine(graph, process, config, rng).run()
+        assert result.completed
+
+    def test_exchange_not_slower_than_push_on_line(self):
+        graph = line_graph(8)
+        rounds = {}
+        for action in (GossipAction.PUSH, GossipAction.EXCHANGE):
+            config = SimulationConfig(action=action, max_rounds=50_000)
+            samples = []
+            for seed in range(3):
+                process, rng = make_protocol(graph, 8, config, seed=seed)
+                samples.append(GossipEngine(graph, process, config, rng).run().rounds)
+            rounds[action] = np.mean(samples)
+        assert rounds[GossipAction.EXCHANGE] <= rounds[GossipAction.PUSH] * 1.5
+
+    def test_round_robin_selector_also_completes(self, sync_config):
+        graph = ring_graph(8)
+        selector = RoundRobinSelector(graph, np.random.default_rng(9))
+        process, rng = make_protocol(graph, 8, sync_config, seed=4, selector=selector)
+        result = GossipEngine(graph, process, sync_config, rng).run()
+        assert result.completed
+        assert process.metadata()["selector"] == "RoundRobinSelector"
+
+    def test_single_message_broadcast_case(self, sync_config):
+        """k = 1 reduces algebraic gossip to a (coded) broadcast; it must finish."""
+        graph = line_graph(8)
+        process, rng = make_protocol(graph, 1, sync_config, seed=5, placement={0: [0]})
+        result = GossipEngine(graph, process, sync_config, rng).run()
+        assert result.completed
+        assert result.rounds >= 4  # information must cross at least ~D/2 hops
+
+    def test_metadata_reports_progress(self, sync_config):
+        graph = ring_graph(6)
+        process, rng = make_protocol(graph, 6, sync_config, seed=6)
+        metadata = process.metadata()
+        assert metadata["protocol"] == "algebraic-gossip"
+        assert metadata["k"] == 6
+        assert metadata["min_rank"] <= 1
+
+    def test_wrong_payload_type_rejected(self, sync_config):
+        graph = ring_graph(6)
+        process, rng = make_protocol(graph, 6, sync_config, seed=7)
+        with pytest.raises(SimulationError):
+            process.on_deliver(0, 1, "not-a-packet")
+
+
+class TestStoppingTimeSanity:
+    def test_lower_bound_respected(self, sync_config):
+        """No gossip protocol can beat k/2 rounds (Theorem 3's lower bound)."""
+        graph = complete_graph(10)
+        process, rng = make_protocol(graph, 10, sync_config, seed=8)
+        result = GossipEngine(graph, process, sync_config, rng).run()
+        assert result.rounds >= 10 / 2
+
+    def test_diameter_lower_bound_synchronous(self, sync_config):
+        graph = line_graph(12)
+        process, rng = make_protocol(graph, 2, sync_config, seed=9,
+                                     placement={0: [0], 11: [1]})
+        result = GossipEngine(graph, process, sync_config, rng).run()
+        # Message 0 must travel 11 hops to reach node 11: at least D/2 rounds
+        # (it can move at most one hop per round; EXCHANGE may move it 1 hop
+        # towards both directions per round).
+        assert result.rounds >= 6

@@ -1,0 +1,112 @@
+"""Tests for the uncoded baseline protocols."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GossipAction, SimulationConfig
+from repro.errors import SimulationError
+from repro.gossip import GossipEngine
+from repro.graphs import complete_graph, diameter, line_graph, ring_graph
+from repro.protocols import AlgebraicGossip, FloodingDissemination, UncodedRandomGossip
+from repro.rlnc import Generation
+from repro.gf import GF
+from repro.experiments import all_to_all_placement, spread_placement
+
+
+class TestUncodedRandomGossip:
+    def test_completes_on_complete_graph(self, sync_config):
+        graph = complete_graph(8)
+        rng = np.random.default_rng(0)
+        process = UncodedRandomGossip(graph, 8, all_to_all_placement(graph), sync_config, rng)
+        result = GossipEngine(graph, process, sync_config, rng).run()
+        assert result.completed
+        assert all(process.messages_known(node) == set(range(8)) for node in graph.nodes())
+
+    def test_partial_k(self, sync_config):
+        graph = ring_graph(8)
+        rng = np.random.default_rng(1)
+        process = UncodedRandomGossip(graph, 3, spread_placement(graph, 3), sync_config, rng)
+        result = GossipEngine(graph, process, sync_config, rng).run()
+        assert result.completed
+        assert result.k == 3
+
+    def test_invalid_placements_rejected(self, sync_config):
+        graph = ring_graph(6)
+        rng = np.random.default_rng(2)
+        with pytest.raises(SimulationError):
+            UncodedRandomGossip(graph, 2, {0: [0]}, sync_config, rng)  # message 1 missing
+        with pytest.raises(SimulationError):
+            UncodedRandomGossip(graph, 2, {99: [0, 1]}, sync_config, rng)
+        with pytest.raises(SimulationError):
+            UncodedRandomGossip(graph, 2, {0: [0, 5]}, sync_config, rng)
+        with pytest.raises(SimulationError):
+            UncodedRandomGossip(graph, 0, {}, sync_config, rng)
+
+    def test_push_only_also_completes(self):
+        graph = complete_graph(6)
+        config = SimulationConfig(action=GossipAction.PUSH, max_rounds=20_000)
+        rng = np.random.default_rng(3)
+        process = UncodedRandomGossip(graph, 6, all_to_all_placement(graph), config, rng)
+        assert GossipEngine(graph, process, config, rng).run().completed
+
+    def test_duplicate_delivery_not_helpful(self, sync_config, rng):
+        graph = ring_graph(6)
+        process = UncodedRandomGossip(graph, 6, all_to_all_placement(graph), sync_config, rng)
+        assert process.on_deliver(0, 1, 1) is True
+        assert process.on_deliver(0, 1, 1) is False
+
+    def test_coded_gossip_not_slower_than_uncoded_on_complete_graph(self):
+        """The motivation for RLNC: coding removes the coupon-collector penalty."""
+        graph = complete_graph(12)
+        config = SimulationConfig(max_rounds=50_000)
+        coded_rounds, uncoded_rounds = [], []
+        for seed in range(3):
+            rng = np.random.default_rng(seed)
+            generation = Generation.random(GF(16), 12, 2, rng)
+            coded = AlgebraicGossip(graph, generation, all_to_all_placement(graph), config, rng)
+            coded_rounds.append(GossipEngine(graph, coded, config, rng).run().rounds)
+            rng2 = np.random.default_rng(seed + 100)
+            uncoded = UncodedRandomGossip(
+                graph, 12, all_to_all_placement(graph), config, rng2
+            )
+            uncoded_rounds.append(GossipEngine(graph, uncoded, config, rng2).run().rounds)
+        assert np.mean(coded_rounds) <= np.mean(uncoded_rounds)
+
+
+class TestFlooding:
+    def test_flooding_finishes_in_eccentricity_rounds(self, sync_config):
+        graph = line_graph(9)
+        process = FloodingDissemination(graph, 1, {0: [0]})
+        rng = np.random.default_rng(4)
+        result = GossipEngine(graph, process, sync_config, rng).run()
+        assert result.completed
+        assert result.rounds == diameter(graph)
+
+    def test_flooding_all_to_all(self, sync_config):
+        graph = ring_graph(8)
+        process = FloodingDissemination(graph, 8, all_to_all_placement(graph))
+        rng = np.random.default_rng(5)
+        result = GossipEngine(graph, process, sync_config, rng).run()
+        assert result.completed
+        assert result.rounds == diameter(graph)
+
+    def test_flooding_lower_bounds_gossip(self, sync_config):
+        """Any single-partner gossip needs at least as many rounds as flooding."""
+        graph = line_graph(8)
+        flood = FloodingDissemination(graph, 8, all_to_all_placement(graph))
+        rng = np.random.default_rng(6)
+        flood_rounds = GossipEngine(graph, flood, sync_config, rng).run().rounds
+        rng2 = np.random.default_rng(6)
+        generation = Generation.random(GF(16), 8, 2, rng2)
+        gossip = AlgebraicGossip(graph, generation, all_to_all_placement(graph), sync_config, rng2)
+        gossip_rounds = GossipEngine(graph, gossip, sync_config, rng2).run().rounds
+        assert gossip_rounds >= flood_rounds
+
+    def test_invalid_parameters(self):
+        graph = ring_graph(6)
+        with pytest.raises(SimulationError):
+            FloodingDissemination(graph, 0, {})
+        with pytest.raises(SimulationError):
+            FloodingDissemination(graph, 1, {55: [0]})

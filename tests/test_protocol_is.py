@@ -1,0 +1,135 @@
+"""Tests for the simulated IS spanning-tree protocol (Section 6)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationConfig, TimeModel
+from repro.errors import SimulationError
+from repro.gossip import GossipEngine
+from repro.graphs import barbell_graph, clique_chain_graph, complete_graph, line_graph
+from repro.protocols import BitStringMessage, ISSpanningTree
+
+
+def run_is(graph, seed=0, config=None):
+    config = config or SimulationConfig(max_rounds=5_000)
+    rng = np.random.default_rng(seed)
+    protocol = ISSpanningTree(graph, rng)
+    result = GossipEngine(graph, protocol, config, rng).run()
+    return protocol, result
+
+
+class TestMechanics:
+    def test_initial_bit_strings_are_unit_vectors(self):
+        graph = line_graph(5)
+        protocol = ISSpanningTree(graph, np.random.default_rng(0))
+        for node in graph.nodes():
+            bits = protocol.bits_of(node)
+            assert bits.sum() == 1
+            assert protocol.heard_count(node) == 1
+
+    def test_root_defaults_to_highest_node(self):
+        graph = line_graph(5)
+        protocol = ISSpanningTree(graph, np.random.default_rng(0))
+        assert protocol.root == 4
+
+    def test_explicit_root(self):
+        graph = line_graph(5)
+        protocol = ISSpanningTree(graph, np.random.default_rng(0), root=2)
+        assert protocol.root == 2
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(SimulationError):
+            ISSpanningTree(line_graph(5), np.random.default_rng(0), root=50)
+
+    def test_bit_strings_are_monotone(self):
+        """Merging can only flip bits from zero to one (the crucial monotonicity
+        property the asynchronous analysis of Theorem 8 relies on)."""
+        graph = complete_graph(6)
+        protocol = ISSpanningTree(graph, np.random.default_rng(1))
+        rng = np.random.default_rng(2)
+        previous = {node: protocol.bits_of(node) for node in graph.nodes()}
+        for _ in range(100):
+            node = int(rng.integers(0, 6))
+            partner = protocol.choose_partner(node, rng)
+            protocol.handle_tree_payload(partner, node, BitStringMessage(protocol.bits_of(node)))
+            protocol.handle_tree_payload(node, partner, BitStringMessage(protocol.bits_of(partner)))
+            for v in graph.nodes():
+                now = protocol.bits_of(v)
+                assert np.all(now >= previous[v])
+                previous[v] = now
+
+    def test_wrong_payload_rejected(self):
+        graph = line_graph(4)
+        protocol = ISSpanningTree(graph, np.random.default_rng(0))
+        with pytest.raises(SimulationError):
+            protocol.handle_tree_payload(0, 1, "nope")
+
+    def test_parent_rule_only_fires_once(self):
+        graph = line_graph(3)
+        protocol = ISSpanningTree(graph, np.random.default_rng(0))  # root = 2
+        full = np.ones(3, dtype=bool)
+        assert protocol.handle_tree_payload(0, 1, BitStringMessage(full))
+        assert protocol.parent_of(0) == 1
+        # A later message containing the root bit does not change the parent.
+        protocol.handle_tree_payload(0, 2, BitStringMessage(full))
+        assert protocol.parent_of(0) == 1
+
+    def test_alternates_deterministic_and_random_steps(self, rng):
+        graph = complete_graph(8)
+        protocol = ISSpanningTree(graph, np.random.default_rng(3))
+        first = protocol.choose_partner(0, rng)   # round-robin step
+        second = protocol.choose_partner(0, rng)  # uniform step
+        third = protocol.choose_partner(0, rng)   # round-robin again
+        assert graph.has_edge(0, first)
+        assert graph.has_edge(0, second)
+        assert graph.has_edge(0, third)
+        assert third != first  # the round-robin pointer advanced
+
+
+class TestTreeConstruction:
+    @pytest.mark.parametrize("builder, n", [(barbell_graph, 12), (complete_graph, 10),
+                                            (line_graph, 10)])
+    def test_produces_spanning_tree(self, builder, n):
+        graph = builder(n)
+        protocol, result = run_is(graph, seed=4)
+        assert result.completed
+        tree = protocol.current_tree()
+        assert tree is not None
+        assert tree.root == protocol.root
+        assert tree.spans(graph)
+
+    def test_metadata_flags(self):
+        graph = complete_graph(8)
+        protocol, result = run_is(graph, seed=5)
+        metadata = protocol.metadata()
+        assert metadata["protocol"] == "ISSpanningTree"
+        assert isinstance(metadata["full_spreading_complete"], bool)
+
+
+class TestSection6Speed:
+    """On large-weak-conductance graphs the IS tree completes in polylog rounds."""
+
+    @pytest.mark.parametrize("builder, kwargs", [(barbell_graph, {}),
+                                                 (clique_chain_graph, {"cliques": 3})])
+    def test_polylog_rounds_on_clique_based_graphs(self, builder, kwargs):
+        graph = builder(18, **kwargs)
+        n = graph.number_of_nodes()
+        config = SimulationConfig(max_rounds=50 * n)
+        rounds = []
+        for seed in range(3):
+            _, result = run_is(graph, seed=seed, config=config)
+            rounds.append(result.rounds)
+        # The bound is O(c (log n + log 1/δ)/Φ_c + c²); with c = 2, Φ_c = Θ(1)
+        # this is a small multiple of log n.  Allow a generous constant.
+        assert np.mean(rounds) <= 12 * math.log(n) + 20
+
+    def test_faster_than_n_on_barbell_async(self):
+        graph = barbell_graph(16)
+        n = graph.number_of_nodes()
+        config = SimulationConfig(time_model=TimeModel.ASYNCHRONOUS, max_rounds=100 * n)
+        _, result = run_is(graph, seed=6, config=config)
+        assert result.rounds <= 6 * math.log(n) ** 2 + 30

@@ -1,0 +1,141 @@
+"""Tests for the spanning-tree gossip protocols (Section 4.1 and Theorem 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import brr_broadcast_upper_bound
+from repro.core import SimulationConfig, TimeModel
+from repro.errors import SimulationError
+from repro.gossip import GossipEngine
+from repro.graphs import (
+    barbell_graph,
+    bfs_spanning_tree,
+    complete_graph,
+    diameter,
+    grid_graph,
+    line_graph,
+    ring_graph,
+)
+from repro.protocols import (
+    BfsOracleTree,
+    RoundRobinBroadcastTree,
+    TreeToken,
+    UniformBroadcastTree,
+)
+
+
+def run_standalone(protocol, graph, config, seed=0):
+    rng = np.random.default_rng(seed)
+    return GossipEngine(graph, protocol, config, rng).run()
+
+
+class TestBroadcastTreeConstruction:
+    @pytest.mark.parametrize("protocol_cls", [UniformBroadcastTree, RoundRobinBroadcastTree])
+    @pytest.mark.parametrize("builder, n", [(line_graph, 10), (grid_graph, 16),
+                                            (barbell_graph, 12), (complete_graph, 10)])
+    def test_produces_valid_spanning_tree(self, protocol_cls, builder, n, sync_config):
+        graph = builder(n)
+        protocol = protocol_cls(graph, root=0, rng=np.random.default_rng(1))
+        result = run_standalone(protocol, graph, sync_config, seed=1)
+        assert result.completed
+        tree = protocol.current_tree()
+        assert tree is not None
+        assert tree.root == 0
+        assert tree.spans(graph)
+
+    def test_parent_is_first_informer(self, sync_config):
+        graph = line_graph(5)
+        protocol = RoundRobinBroadcastTree(graph, root=0, rng=np.random.default_rng(2))
+        run_standalone(protocol, graph, sync_config, seed=2)
+        # On a line rooted at 0 the only possible parent of i is i - 1.
+        for node in range(1, 5):
+            assert protocol.parent_of(node) == node - 1
+
+    def test_informed_count_monotone(self, sync_config):
+        graph = ring_graph(8)
+        protocol = UniformBroadcastTree(graph, root=0, rng=np.random.default_rng(3))
+        assert protocol.informed_count == 1
+        run_standalone(protocol, graph, sync_config, seed=3)
+        assert protocol.informed_count == 8
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(SimulationError):
+            UniformBroadcastTree(ring_graph(6), root=77, rng=np.random.default_rng(0))
+
+    def test_wrong_payload_type_rejected(self):
+        graph = ring_graph(6)
+        protocol = UniformBroadcastTree(graph, root=0, rng=np.random.default_rng(0))
+        with pytest.raises(SimulationError):
+            protocol.handle_tree_payload(1, 0, "bogus")
+
+    def test_token_payload_reflects_informed_state(self):
+        graph = line_graph(4)
+        protocol = UniformBroadcastTree(graph, root=0, rng=np.random.default_rng(0))
+        assert protocol.tree_payload(0).informed
+        assert not protocol.tree_payload(3).informed
+
+    def test_metadata_contains_tree_statistics(self, sync_config):
+        graph = grid_graph(9)
+        protocol = RoundRobinBroadcastTree(graph, root=0, rng=np.random.default_rng(4))
+        result = run_standalone(protocol, graph, sync_config, seed=4)
+        assert result.metadata["tree_depth"] is not None
+        assert result.metadata["tree_diameter"] >= result.metadata["tree_depth"]
+
+
+class TestTheorem5:
+    """B_RR broadcast finishes within O(n) rounds — at most 3n in the sync model."""
+
+    @pytest.mark.parametrize("builder, n", [(line_graph, 16), (barbell_graph, 16),
+                                            (grid_graph, 16), (complete_graph, 16)])
+    def test_synchronous_within_3n_rounds(self, builder, n):
+        graph = builder(n)
+        actual_n = graph.number_of_nodes()
+        config = SimulationConfig(time_model=TimeModel.SYNCHRONOUS, max_rounds=10 * actual_n)
+        protocol = RoundRobinBroadcastTree(graph, root=0, rng=np.random.default_rng(5))
+        result = run_standalone(protocol, graph, config, seed=5)
+        assert result.rounds <= brr_broadcast_upper_bound(actual_n)
+
+    def test_asynchronous_within_constant_times_n_rounds(self):
+        graph = barbell_graph(14)
+        n = graph.number_of_nodes()
+        config = SimulationConfig(time_model=TimeModel.ASYNCHRONOUS, max_rounds=200 * n)
+        rounds = []
+        for seed in range(3):
+            protocol = RoundRobinBroadcastTree(graph, root=0, rng=np.random.default_rng(seed))
+            rounds.append(run_standalone(protocol, graph, config, seed=seed).rounds)
+        # The theorem promises O(n) rounds w.h.p.; allow a generous constant.
+        assert np.mean(rounds) <= 12 * n
+
+    def test_broadcast_time_at_least_depth(self, sync_config):
+        """t(B) >= d(B) in the synchronous model (the observation before Eq. (3))."""
+        graph = grid_graph(25)
+        protocol = RoundRobinBroadcastTree(graph, root=0, rng=np.random.default_rng(6))
+        result = run_standalone(protocol, graph, sync_config, seed=6)
+        tree = protocol.current_tree()
+        assert result.rounds >= tree.depth
+
+
+class TestBfsOracleTree:
+    def test_tree_available_immediately(self, sync_config):
+        graph = grid_graph(16)
+        protocol = BfsOracleTree(graph, root=0)
+        assert protocol.tree_complete()
+        tree = protocol.current_tree()
+        assert tree.spans(graph)
+        assert tree.depth <= diameter(graph)
+        assert tree.parent == bfs_spanning_tree(graph, 0).parent
+
+    def test_phase1_steps_are_noops(self, rng):
+        graph = ring_graph(6)
+        protocol = BfsOracleTree(graph, root=0)
+        assert not protocol.handle_tree_payload(1, 0, TreeToken(True))
+        partner = protocol.choose_partner(3, rng)
+        assert graph.has_edge(3, partner)
+        root_partner = protocol.choose_partner(0, rng)
+        assert graph.has_edge(0, root_partner)
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(SimulationError):
+            BfsOracleTree(ring_graph(6), root=10)

@@ -1,0 +1,157 @@
+"""Tests for the TAG protocol (Section 4, Theorems 4, 5, 7, 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import tag_with_brr_upper_bound
+from repro.core import SimulationConfig, TimeModel
+from repro.errors import SimulationError
+from repro.gf import GF
+from repro.gossip import GossipEngine
+from repro.graphs import barbell_graph, grid_graph, line_graph, ring_graph
+from repro.protocols import (
+    BfsOracleTree,
+    ISSpanningTree,
+    RoundRobinBroadcastTree,
+    TagProtocol,
+    UniformBroadcastTree,
+)
+from repro.rlnc import Generation
+from repro.experiments import all_to_all_placement, spread_placement
+
+
+def make_tag(graph, k, config, stp_factory, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    field = GF(config.field_size)
+    generation = Generation.random(field, k, config.payload_length, rng)
+    placement = (
+        all_to_all_placement(graph)
+        if k >= graph.number_of_nodes()
+        else spread_placement(graph, k)
+    )
+    process = TagProtocol(graph, generation, placement, config, rng, stp_factory, **kwargs)
+    return process, rng
+
+
+def brr_factory(root=0):
+    return lambda g, r: RoundRobinBroadcastTree(g, root, r)
+
+
+class TestConstruction:
+    def test_accepts_factory_and_instance(self, sync_config):
+        graph = ring_graph(6)
+        rng = np.random.default_rng(0)
+        field = GF(sync_config.field_size)
+        generation = Generation.random(field, 6, 2, rng)
+        placement = all_to_all_placement(graph)
+        instance = BfsOracleTree(graph, root=0)
+        tag = TagProtocol(graph, generation, placement, sync_config, rng, instance)
+        assert tag.stp is instance
+        tag2 = TagProtocol(graph, generation, placement, sync_config, rng, brr_factory())
+        assert isinstance(tag2.stp, RoundRobinBroadcastTree)
+
+    def test_rejects_non_protocol(self, sync_config):
+        graph = ring_graph(6)
+        rng = np.random.default_rng(0)
+        generation = Generation.random(GF(16), 6, 2, rng)
+        with pytest.raises(SimulationError):
+            TagProtocol(graph, generation, all_to_all_placement(graph), sync_config, rng,
+                        lambda g, r: "not a protocol")
+
+    def test_rejects_field_mismatch(self, sync_config):
+        graph = ring_graph(6)
+        rng = np.random.default_rng(0)
+        generation = Generation.random(GF(256), 6, 2, rng)
+        with pytest.raises(SimulationError):
+            TagProtocol(graph, generation, all_to_all_placement(graph), sync_config, rng,
+                        brr_factory())
+
+
+class TestDissemination:
+    @pytest.mark.parametrize("time_model", [TimeModel.SYNCHRONOUS, TimeModel.ASYNCHRONOUS])
+    def test_completes_and_decodes_on_barbell(self, time_model):
+        graph = barbell_graph(10)
+        config = SimulationConfig(time_model=time_model, max_rounds=50_000)
+        process, rng = make_tag(graph, 10, config, brr_factory(), seed=1)
+        result = GossipEngine(graph, process, config, rng).run()
+        assert result.completed
+        assert process.all_nodes_decoded_correctly()
+        assert process.stp.tree_complete()
+
+    @pytest.mark.parametrize("stp_name, factory", [
+        ("brr", brr_factory()),
+        ("uniform", lambda g, r: UniformBroadcastTree(g, 0, r)),
+        ("bfs", lambda g, r: BfsOracleTree(g, 0)),
+        ("is", lambda g, r: ISSpanningTree(g, r)),
+    ])
+    def test_all_spanning_tree_protocols_work(self, stp_name, factory, sync_config):
+        graph = grid_graph(9)
+        process, rng = make_tag(graph, 9, sync_config, factory, seed=2)
+        result = GossipEngine(graph, process, sync_config, rng).run()
+        assert result.completed, stp_name
+        assert process.all_nodes_decoded_correctly(), stp_name
+
+    def test_partial_k_on_line(self, sync_config):
+        graph = line_graph(10)
+        process, rng = make_tag(graph, 3, sync_config, brr_factory(), seed=3)
+        result = GossipEngine(graph, process, sync_config, rng).run()
+        assert result.completed
+        assert all(process.rank_of(node) == 3 for node in graph.nodes())
+
+    def test_metadata_reports_tree_and_phase1(self, sync_config):
+        graph = barbell_graph(10)
+        process, rng = make_tag(graph, 10, sync_config, brr_factory(), seed=4)
+        GossipEngine(graph, process, sync_config, rng).run()
+        metadata = process.metadata()
+        assert metadata["protocol"] == "TAG"
+        assert metadata["tree_complete"]
+        assert metadata["tree_depth"] >= 1
+        assert metadata["phase1_rounds"] >= 1
+
+    def test_phase2_idle_without_parent(self, sync_config, rng):
+        """Before the tree reaches a node, its even wakeups produce no packets."""
+        graph = line_graph(6)
+        process, _ = make_tag(graph, 6, sync_config, brr_factory(), seed=5)
+        # Node 5 has no parent yet; two wakeups: first is phase 1, second phase 2.
+        process.on_wakeup(5, rng)
+        transmissions = process.on_wakeup(5, rng)
+        assert transmissions == []
+
+    def test_keep_phase1_flag_changes_behaviour(self, sync_config, rng):
+        graph = line_graph(4)
+        process, _ = make_tag(graph, 4, sync_config, lambda g, r: BfsOracleTree(g, 0),
+                              seed=6, keep_phase1_after_tree=False)
+        # With the oracle tree complete from the start and phase 1 disabled,
+        # every wakeup of a non-root node is a phase-2 RLNC exchange.
+        transmissions = process.on_wakeup(1, rng)
+        assert transmissions
+        assert all(t.kind == "rlnc" for t in transmissions)
+
+
+class TestTheorem4And5Shapes:
+    def test_tag_brr_beats_bound_on_barbell(self):
+        """Section 5: with k = n, TAG + B_RR finishes within O(n) rounds."""
+        graph = barbell_graph(12)
+        n = graph.number_of_nodes()
+        config = SimulationConfig(max_rounds=100 * n)
+        rounds = []
+        for seed in range(3):
+            process, rng = make_tag(graph, n, config, brr_factory(), seed=seed)
+            rounds.append(GossipEngine(graph, process, config, rng).run().rounds)
+        # Allow a constant factor over the explicit 3n + k + log n expression.
+        assert np.mean(rounds) <= 3 * tag_with_brr_upper_bound(n, n)
+
+    def test_oracle_tree_runs_are_not_slower_than_broadcast_tree_runs(self):
+        """d(S)=BFS and t(S)=0 should never hurt compared to building the tree live."""
+        graph = barbell_graph(12)
+        n = graph.number_of_nodes()
+        config = SimulationConfig(max_rounds=100 * n)
+        oracle_rounds, brr_rounds = [], []
+        for seed in range(3):
+            p1, r1 = make_tag(graph, n, config, lambda g, r: BfsOracleTree(g, 0), seed=seed)
+            oracle_rounds.append(GossipEngine(graph, p1, config, r1).run().rounds)
+            p2, r2 = make_tag(graph, n, config, brr_factory(), seed=seed)
+            brr_rounds.append(GossipEngine(graph, p2, config, r2).run().rounds)
+        assert np.mean(oracle_rounds) <= np.mean(brr_rounds) * 1.5

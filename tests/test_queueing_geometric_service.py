@@ -1,0 +1,53 @@
+"""Tests for the geometric-service queueing variant (the raw timeslot model).
+
+The gossip reduction's native service model is geometric (a helpful packet
+crosses an edge in a timeslot with probability ``p``); Lemma 2 of the authors'
+earlier paper lets it be replaced by an exponential server with the same rate,
+which is stochastically slower.  These tests check that substitution
+empirically: the exponential network's stopping time dominates the geometric
+network's in the mean and (approximately) in distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.queueing import TreeQueueNetwork, empirically_dominates, line_tree, mean_ordering_holds
+
+
+class TestGeometricService:
+    def test_invalid_parameters(self):
+        tree = line_tree(3)
+        with pytest.raises(SimulationError):
+            TreeQueueNetwork(tree, 0.5, {2: 1}, service="uniform")
+        with pytest.raises(SimulationError):
+            TreeQueueNetwork(tree, 2.0, {2: 1}, service="geometric")
+
+    def test_geometric_single_queue_mean(self, rng):
+        tree = line_tree(1)
+        network = TreeQueueNetwork(tree, 0.25, {0: 1}, service="geometric")
+        samples = network.simulate_many(4_000, rng)
+        # One Geom(0.25) service: mean 4 timeslots.
+        assert np.mean(samples) == pytest.approx(4.0, rel=0.1)
+
+    def test_exponential_dominates_geometric(self, rng):
+        """The Lemma-2 substitution: Exp(p) service is slower than Geom(p) service."""
+        tree = line_tree(4)
+        customers = {3: 6}
+        p = 0.3
+        geometric = TreeQueueNetwork(tree, p, customers, service="geometric")
+        exponential = TreeQueueNetwork(tree, p, customers, service="exponential")
+        geo_samples = geometric.simulate_many(500, rng)
+        exp_samples = exponential.simulate_many(500, rng)
+        assert mean_ordering_holds(geo_samples, exp_samples, slack=0.5)
+        assert empirically_dominates(geo_samples, exp_samples, tolerance=0.15)
+
+    def test_both_services_scale_with_load(self, rng):
+        tree = line_tree(3)
+        for service in ("geometric", "exponential"):
+            rate = 0.5
+            light = TreeQueueNetwork(tree, rate, {2: 2}, service=service)
+            heavy = TreeQueueNetwork(tree, rate, {2: 12}, service=service)
+            assert heavy.simulate_many(200, rng).mean() > light.simulate_many(200, rng).mean()

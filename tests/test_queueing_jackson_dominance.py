@@ -1,0 +1,106 @@
+"""Tests for Jackson-network facts (Lemmas 7–9) and the dominance utilities."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, SimulationError
+from repro.queueing import (
+    dominance_violation,
+    empirical_cdf,
+    empirically_dominates,
+    equilibrium_queue_length_distribution,
+    expected_sojourn_time,
+    lemma7_stopping_time_bound,
+    mean_ordering_holds,
+    sample_equilibrium_queue_length,
+    sum_exponentials_tail_bound,
+    theorem2_stopping_time_bound,
+    utilisation,
+)
+
+
+class TestJacksonFacts:
+    def test_utilisation(self):
+        assert utilisation(1.0, 2.0) == pytest.approx(0.5)
+        with pytest.raises(SimulationError):
+            utilisation(2.0, 2.0)
+        with pytest.raises(SimulationError):
+            utilisation(-1.0, 2.0)
+
+    def test_equilibrium_distribution_is_geometric(self):
+        probs = equilibrium_queue_length_distribution(0.5, 10)
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[1] == pytest.approx(0.25)
+        assert probs.sum() == pytest.approx(1 - 0.5**11)
+        with pytest.raises(SimulationError):
+            equilibrium_queue_length_distribution(1.5, 10)
+
+    def test_equilibrium_sampling_matches_mean(self, rng):
+        rho = 0.5
+        samples = sample_equilibrium_queue_length(rho, rng, size=20_000)
+        # Mean of the stationary M/M/1 queue length is rho / (1 - rho) = 1.
+        assert np.mean(samples) == pytest.approx(1.0, rel=0.1)
+        assert samples.min() >= 0
+
+    def test_expected_sojourn_time(self):
+        assert expected_sojourn_time(0.5, 1.0) == pytest.approx(2.0)
+
+    def test_lemma9_tail_bound_validated_by_simulation(self, rng):
+        """Pr(Y < α E[Y]) is indeed at least the Lemma 9 expression."""
+        count, alpha = 20, 2.5
+        bound = sum_exponentials_tail_bound(count, alpha)
+        sums = rng.exponential(1.0, size=(4_000, count)).sum(axis=1)
+        empirical = np.mean(sums < alpha * count)
+        assert empirical >= bound - 0.02
+        with pytest.raises(SimulationError):
+            sum_exponentials_tail_bound(0, 2.0)
+        with pytest.raises(SimulationError):
+            sum_exponentials_tail_bound(5, 0.5)
+
+    def test_lemma7_formula(self):
+        k, depth, n, mu = 10, 4, 30, 0.5
+        expected = (4 * k + 4 * depth + 16 * math.log(n)) / mu
+        assert lemma7_stopping_time_bound(k, depth, n, mu) == pytest.approx(expected)
+        assert theorem2_stopping_time_bound(k, depth, n, mu) == pytest.approx(expected)
+        with pytest.raises(SimulationError):
+            lemma7_stopping_time_bound(0, 1, 10, 1.0)
+
+
+class TestDominanceUtilities:
+    def test_empirical_cdf(self):
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        cdf = empirical_cdf(samples, np.array([0.5, 2.0, 5.0]))
+        assert list(cdf) == [0.0, 0.5, 1.0]
+        with pytest.raises(AnalysisError):
+            empirical_cdf(np.array([]), np.array([1.0]))
+
+    def test_dominance_detects_clear_ordering(self, rng):
+        smaller = rng.exponential(1.0, size=2_000)
+        larger = rng.exponential(1.0, size=2_000) + 1.0
+        assert empirically_dominates(smaller, larger, tolerance=0.05)
+        assert not empirically_dominates(larger, smaller, tolerance=0.05)
+        assert dominance_violation(smaller, larger) <= 0.05
+
+    def test_identical_distributions_within_tolerance(self, rng):
+        a = rng.normal(0, 1, size=3_000)
+        b = rng.normal(0, 1, size=3_000)
+        assert empirically_dominates(a, b, tolerance=0.1)
+        assert empirically_dominates(b, a, tolerance=0.1)
+
+    def test_mean_ordering(self, rng):
+        a = rng.uniform(0, 1, size=500)
+        b = rng.uniform(0.5, 1.5, size=500)
+        assert mean_ordering_holds(a, b)
+        assert not mean_ordering_holds(b, a)
+
+    def test_input_validation(self):
+        with pytest.raises(AnalysisError):
+            dominance_violation(np.array([]), np.array([1.0]))
+        with pytest.raises(AnalysisError):
+            mean_ordering_holds(np.array([]), np.array([1.0]))
+        with pytest.raises(AnalysisError):
+            empirically_dominates(np.array([1.0]), np.array([1.0]), tolerance=-1)

@@ -1,0 +1,97 @@
+"""Unit tests for single-queue primitives and Lemma 8."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.queueing import (
+    MM1Queue,
+    departure_times,
+    exponential_service_times,
+    geometric_service_times,
+)
+
+
+class TestServiceTimes:
+    def test_exponential_mean(self, rng):
+        samples = exponential_service_times(20_000, mu=2.0, rng=rng)
+        assert np.mean(samples) == pytest.approx(0.5, rel=0.05)
+        assert np.all(samples > 0)
+
+    def test_geometric_mean(self, rng):
+        samples = geometric_service_times(20_000, p=0.25, rng=rng)
+        assert np.mean(samples) == pytest.approx(4.0, rel=0.05)
+        assert np.all(samples >= 1)
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(SimulationError):
+            exponential_service_times(10, mu=0, rng=rng)
+        with pytest.raises(SimulationError):
+            exponential_service_times(-1, mu=1, rng=rng)
+        with pytest.raises(SimulationError):
+            geometric_service_times(10, p=0, rng=rng)
+        with pytest.raises(SimulationError):
+            geometric_service_times(10, p=1.2, rng=rng)
+
+
+class TestDepartureTimes:
+    def test_fcfs_recursion_by_hand(self):
+        arrivals = np.array([0.0, 1.0, 1.5])
+        services = np.array([2.0, 0.5, 3.0])
+        departures = departure_times(arrivals, services)
+        # d1 = 0 + 2 = 2; d2 = max(1, 2) + 0.5 = 2.5; d3 = max(1.5, 2.5) + 3 = 5.5
+        assert list(departures) == [2.0, 2.5, 5.5]
+
+    def test_departures_are_monotone_and_after_arrivals(self, rng):
+        arrivals = np.sort(rng.uniform(0, 10, size=50))
+        services = exponential_service_times(50, 1.0, rng)
+        departures = departure_times(arrivals, services)
+        assert np.all(np.diff(departures) >= 0)
+        assert np.all(departures >= arrivals)
+
+    def test_later_arrivals_yield_later_departures(self, rng):
+        """Empirical check of Lemma 3 (appendix): shifting arrivals later never
+        makes any departure earlier, for the same service times."""
+        arrivals = np.sort(rng.uniform(0, 5, size=30))
+        services = exponential_service_times(30, 1.5, rng)
+        shifted = arrivals + rng.uniform(0, 2, size=30)
+        shifted.sort()
+        shifted = np.maximum(shifted, arrivals)  # ensure pointwise-later arrivals
+        original = departure_times(arrivals, services)
+        later = departure_times(shifted, services)
+        assert np.all(later >= original - 1e-12)
+
+    def test_shape_mismatch_and_order_checks(self):
+        with pytest.raises(SimulationError):
+            departure_times(np.array([0.0, 1.0]), np.array([1.0]))
+        with pytest.raises(SimulationError):
+            departure_times(np.array([2.0, 1.0]), np.array([1.0, 1.0]))
+
+
+class TestMM1Queue:
+    def test_stability_check(self):
+        with pytest.raises(SimulationError):
+            MM1Queue(arrival_rate=2.0, service_rate=1.0)
+        with pytest.raises(SimulationError):
+            MM1Queue(arrival_rate=0.0, service_rate=1.0)
+
+    def test_utilisation_and_expected_sojourn(self):
+        queue = MM1Queue(arrival_rate=1.0, service_rate=2.0)
+        assert queue.utilisation == pytest.approx(0.5)
+        assert queue.expected_sojourn_time() == pytest.approx(1.0)
+
+    def test_lemma8_sojourn_time_is_exponential_with_rate_mu_minus_lambda(self, rng):
+        """Lemma 8: equilibrium sojourn time ~ Exp(μ - λ).  Check mean and a
+        quantile of the simulated distribution against the closed form."""
+        queue = MM1Queue(arrival_rate=1.0, service_rate=2.0)
+        sojourns = queue.simulate_sojourn_times(8_000, rng, warmup=500)
+        assert np.mean(sojourns) == pytest.approx(1.0, rel=0.15)
+        # Median of Exp(1) is ln 2.
+        assert np.median(sojourns) == pytest.approx(np.log(2), rel=0.2)
+
+    def test_invalid_customer_count(self, rng):
+        queue = MM1Queue(arrival_rate=0.5, service_rate=2.0)
+        with pytest.raises(SimulationError):
+            queue.simulate_sojourn_times(0, rng)

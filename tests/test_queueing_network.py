@@ -1,0 +1,157 @@
+"""Tests for tree/line queueing networks and the Theorem 2 dominance chain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.graphs import SpanningTree, bfs_spanning_tree, grid_graph
+from repro.queueing import (
+    TreeQueueNetwork,
+    empirically_dominates,
+    lemma7_stopping_time_bound,
+    line_tree,
+    mean_ordering_holds,
+    open_line_stopping_time,
+    single_level_scheduling_stopping_time,
+    theorem2_stopping_time_bound,
+)
+
+
+def balanced_tree(depth: int, branching: int = 2) -> SpanningTree:
+    """A complete ``branching``-ary tree of the given depth as a SpanningTree."""
+    parent = {}
+    nodes = [0]
+    next_id = 1
+    frontier = [0]
+    for _ in range(depth):
+        new_frontier = []
+        for node in frontier:
+            for _ in range(branching):
+                parent[next_id] = node
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return SpanningTree(root=0, parent=parent)
+
+
+class TestTreeQueueNetwork:
+    def test_single_queue_single_customer(self, rng):
+        tree = line_tree(1)
+        network = TreeQueueNetwork(tree, service_rate=2.0, initial_customers={0: 1})
+        samples = network.simulate_many(5_000, rng)
+        # A single Exp(2) service: mean 0.5.
+        assert np.mean(samples) == pytest.approx(0.5, rel=0.1)
+
+    def test_line_of_queues_customer_must_traverse_all(self, rng):
+        tree = line_tree(5)
+        network = TreeQueueNetwork(tree, service_rate=1.0, initial_customers={4: 1})
+        samples = network.simulate_many(3_000, rng)
+        # The lone customer is served 5 times: Erlang(5, 1) with mean 5.
+        assert np.mean(samples) == pytest.approx(5.0, rel=0.1)
+
+    def test_stopping_time_grows_with_customers(self, rng):
+        tree = line_tree(3)
+        few = TreeQueueNetwork(tree, 1.0, {2: 2}).simulate_many(400, rng).mean()
+        many = TreeQueueNetwork(tree, 1.0, {2: 10}).simulate_many(400, rng).mean()
+        assert many > few
+
+    def test_invalid_parameters(self):
+        tree = line_tree(3)
+        with pytest.raises(SimulationError):
+            TreeQueueNetwork(tree, 0.0, {0: 1})
+        with pytest.raises(SimulationError):
+            TreeQueueNetwork(tree, 1.0, {})
+        with pytest.raises(SimulationError):
+            TreeQueueNetwork(tree, 1.0, {99: 1})
+        with pytest.raises(SimulationError):
+            TreeQueueNetwork(tree, 1.0, {0: -1})
+        with pytest.raises(SimulationError):
+            TreeQueueNetwork(tree, 1.0, {0: 1}).simulate_many(0, np.random.default_rng(0))
+
+    def test_works_on_bfs_tree_of_a_real_graph(self, rng):
+        graph = grid_graph(16)
+        tree = bfs_spanning_tree(graph, 0)
+        customers = {node: 1 for node in tree.parent}
+        network = TreeQueueNetwork(tree, service_rate=1.0, initial_customers=customers)
+        value = network.simulate(rng)
+        assert value > 0
+
+
+class TestTheorem2DominanceChain:
+    """Empirical versions of Lemmas 4–7: each transformation in the proof can
+    only make the stopping time stochastically larger."""
+
+    def test_tree_dominated_by_single_server_per_level(self, rng):
+        tree = balanced_tree(depth=3)
+        customers = {node: 1 for node in tree.parent}
+        network = TreeQueueNetwork(tree, 1.0, customers)
+        tree_samples = network.simulate_many(300, rng)
+        level_samples = np.array([
+            single_level_scheduling_stopping_time(tree, 1.0, customers, rng)
+            for _ in range(300)
+        ])
+        assert mean_ordering_holds(tree_samples, level_samples, slack=0.5)
+        assert empirically_dominates(tree_samples, level_samples, tolerance=0.15)
+
+    def test_line_dominated_by_all_customers_at_far_end(self, rng):
+        depth = 4
+        line = line_tree(depth + 1)
+        spread = {i: 2 for i in range(1, depth + 1)}
+        spread_samples = TreeQueueNetwork(line, 1.0, spread).simulate_many(300, rng)
+        far = {depth: 2 * depth}
+        far_samples = TreeQueueNetwork(line, 1.0, far).simulate_many(300, rng)
+        assert mean_ordering_holds(spread_samples, far_samples, slack=0.5)
+        assert empirically_dominates(spread_samples, far_samples, tolerance=0.15)
+
+    def test_closed_line_dominated_by_open_jackson_line(self, rng):
+        """Moving the customers outside and re-injecting them at rate μ/2 only
+        slows the system down (the final step of Lemma 7)."""
+        k, depth, mu = 8, 4, 1.0
+        line = line_tree(depth)
+        closed = TreeQueueNetwork(line, mu, {depth - 1: k}).simulate_many(300, rng)
+        open_samples = np.array([
+            open_line_stopping_time(k, depth, mu, rng) for _ in range(300)
+        ])
+        assert mean_ordering_holds(closed, open_samples, slack=0.5)
+
+    def test_full_chain_tree_bounded_by_lemma7_formula(self, rng):
+        """Theorem 2 end to end: the tree network's p95 stopping time is below
+        the explicit (4k + 4 l_max + 16 ln n)/μ bound."""
+        tree = balanced_tree(depth=3)
+        n = tree.size
+        customers = {node: 1 for node in tree.parent}
+        k = sum(customers.values())
+        mu = 1.0
+        samples = TreeQueueNetwork(tree, mu, customers).simulate_many(400, rng)
+        bound = lemma7_stopping_time_bound(k, tree.depth, n, mu)
+        assert np.quantile(samples, 0.95) <= bound
+
+    def test_theorem2_bound_scales_inversely_with_mu(self):
+        assert theorem2_stopping_time_bound(10, 3, 20, 0.5) == pytest.approx(
+            2 * theorem2_stopping_time_bound(10, 3, 20, 1.0)
+        )
+
+
+class TestOpenLine:
+    def test_open_line_mean_reasonable(self, rng):
+        k, depth, mu = 10, 3, 1.0
+        samples = np.array([open_line_stopping_time(k, depth, mu, rng) for _ in range(400)])
+        # Arrival of the k-th customer takes ~k/(mu/2) = 2k; traversal ~depth/(mu/2).
+        expected = 2 * k / mu + 2 * depth / mu
+        assert np.mean(samples) == pytest.approx(expected, rel=0.3)
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(SimulationError):
+            open_line_stopping_time(0, 3, 1.0, rng)
+        with pytest.raises(SimulationError):
+            open_line_stopping_time(3, 0, 1.0, rng)
+        with pytest.raises(SimulationError):
+            open_line_stopping_time(3, 3, -1.0, rng)
+        with pytest.raises(SimulationError):
+            open_line_stopping_time(3, 3, 1.0, rng, arrival_rate=0.0)
+
+    def test_line_tree_requires_positive_length(self):
+        with pytest.raises(SimulationError):
+            line_tree(0)

@@ -1,0 +1,121 @@
+"""Tests for the gossip → queueing reduction of Theorem 1 (experiment E7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationConfig, TimeModel
+from repro.errors import SimulationError
+from repro.gf import GF
+from repro.gossip import GossipEngine
+from repro.graphs import diameter, grid_graph, line_graph, ring_graph
+from repro.protocols import AlgebraicGossip
+from repro.queueing import (
+    QueueingReduction,
+    service_probability,
+    worst_case_service_probability,
+)
+from repro.rlnc import Generation
+from repro.experiments import all_to_all_placement
+
+
+class TestServiceProbability:
+    def test_formula(self):
+        assert service_probability(2, 4) == pytest.approx(0.5 / 4)
+        assert service_probability(16, 1) == pytest.approx(15 / 16)
+        assert worst_case_service_probability(10) == pytest.approx(1 / 20)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            service_probability(1, 4)
+        with pytest.raises(SimulationError):
+            service_probability(2, 0)
+
+
+class TestReductionConstruction:
+    def test_rates_per_time_model(self):
+        graph = ring_graph(8)  # n = 8, Δ = 2
+        async_reduction = QueueingReduction(graph, k=4, q=2, time_model=TimeModel.ASYNCHRONOUS)
+        sync_reduction = QueueingReduction(graph, k=4, q=2, time_model=TimeModel.SYNCHRONOUS)
+        assert async_reduction.service_rate() == pytest.approx(1 / (2 * 8 * 2))
+        assert sync_reduction.service_rate() == pytest.approx(1 / (2 * 2))
+
+    def test_fixed_partner_removes_delta(self):
+        graph = grid_graph(16)  # Δ = 4
+        with_delta = QueueingReduction(graph, k=4, time_model=TimeModel.SYNCHRONOUS)
+        fixed = QueueingReduction(graph, k=4, time_model=TimeModel.SYNCHRONOUS, fixed_partner=True)
+        assert fixed.service_rate() == pytest.approx(with_delta.service_rate() * 4)
+
+    def test_bfs_tree_depth_at_most_diameter(self):
+        graph = grid_graph(16)
+        reduction = QueueingReduction(graph, k=4)
+        tree = reduction.bfs_tree(0)
+        assert tree.depth <= diameter(graph)
+
+    def test_invalid_k(self):
+        with pytest.raises(SimulationError):
+            QueueingReduction(ring_graph(6), k=0)
+
+    def test_customer_placement_counts(self):
+        graph = line_graph(6)
+        reduction = QueueingReduction(graph, k=4)
+        tree = reduction.bfs_tree(0)
+        placement = reduction.customer_placement(tree)
+        assert sum(placement.values()) == 4
+        # Explicit per-node counts are also honoured.
+        explicit = reduction.customer_placement(tree, {5: 2, 0: 1})
+        assert explicit == {5: 2}  # messages at the root need no transport
+        with pytest.raises(SimulationError):
+            reduction.customer_placement(tree, {99: 1})
+
+    def test_describe_mentions_bound(self):
+        graph = ring_graph(8)
+        reduction = QueueingReduction(graph, k=4)
+        text = reduction.describe()
+        assert "service rate" in text
+        assert "O((k + log n + D)" in text
+
+
+class TestReductionPredictions:
+    def test_analytic_and_simulated_predictions(self, rng):
+        graph = grid_graph(9)
+        reduction = QueueingReduction(graph, k=5, q=2, time_model=TimeModel.SYNCHRONOUS)
+        prediction = reduction.predict_for_root(0, rng, trials=100)
+        assert prediction.analytic_bound > 0
+        assert prediction.simulated_whp is not None
+        # The closed-form bound must upper-bound the simulated queueing system.
+        assert prediction.simulated_whp <= prediction.analytic_bound
+
+    def test_simulation_requires_rng(self):
+        graph = ring_graph(6)
+        reduction = QueueingReduction(graph, k=3)
+        with pytest.raises(SimulationError):
+            reduction.predict_for_root(0, None, trials=10)
+
+    def test_prediction_upper_bounds_real_gossip_on_constant_degree_graph(self):
+        """The whole point of Theorem 1: the queueing bound dominates the real
+        synchronous uniform-AG stopping time (here checked on a small ring)."""
+        graph = ring_graph(8)
+        n = graph.number_of_nodes()
+        config = SimulationConfig(field_size=2, time_model=TimeModel.SYNCHRONOUS,
+                                  max_rounds=50_000)
+        measured = []
+        for seed in range(3):
+            rng = np.random.default_rng(seed)
+            generation = Generation.random(GF(2), n, 2, rng)
+            process = AlgebraicGossip(graph, generation, all_to_all_placement(graph), config, rng)
+            measured.append(GossipEngine(graph, process, config, rng).run().rounds)
+        reduction = QueueingReduction(graph, k=n, q=2, time_model=TimeModel.SYNCHRONOUS)
+        assert max(measured) <= reduction.predicted_rounds_upper_bound()
+
+    def test_asynchronous_bound_converted_to_rounds(self):
+        graph = ring_graph(8)
+        sync_bound = QueueingReduction(
+            graph, k=8, time_model=TimeModel.SYNCHRONOUS
+        ).predicted_rounds_upper_bound()
+        async_bound = QueueingReduction(
+            graph, k=8, time_model=TimeModel.ASYNCHRONOUS
+        ).predicted_rounds_upper_bound()
+        # After dividing timeslots by n, both bounds are the same expression.
+        assert async_bound == pytest.approx(sync_bound)

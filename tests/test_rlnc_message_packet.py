@@ -1,0 +1,91 @@
+"""Unit tests for generations, source messages and coded packets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DecodingError
+from repro.gf import GF
+from repro.rlnc import CodedPacket, Generation
+
+
+class TestGeneration:
+    def test_random_generation_shape_and_range(self, gf16, rng):
+        generation = Generation.random(gf16, k=6, payload_length=3, rng=rng)
+        assert generation.k == 6
+        assert generation.payload_length == 3
+        matrix = generation.payload_matrix
+        assert matrix.shape == (6, 3)
+        assert matrix.max() < 16
+
+    def test_from_values(self, gf16):
+        generation = Generation.from_values(gf16, [[1, 2], [3, 4]])
+        assert generation.k == 2
+        assert np.array_equal(generation.payload_matrix, np.array([[1, 2], [3, 4]]))
+
+    def test_payload_matrix_is_a_copy(self, gf16):
+        generation = Generation.from_values(gf16, [[1, 2], [3, 4]])
+        matrix = generation.payload_matrix
+        matrix[0, 0] = 9
+        assert generation.payload_matrix[0, 0] == 1
+
+    def test_message_accessor(self, gf16):
+        generation = Generation.from_values(gf16, [[1, 2], [3, 4]])
+        message = generation.message(1)
+        assert message.index == 1
+        assert message.payload == (3, 4)
+        assert len(generation.messages()) == 2
+        assert len(generation) == 2
+
+    def test_message_out_of_range(self, gf16):
+        generation = Generation.from_values(gf16, [[1, 2]])
+        with pytest.raises(DecodingError):
+            generation.message(5)
+
+    def test_invalid_shapes_rejected(self, gf16):
+        with pytest.raises(DecodingError):
+            Generation(gf16, np.array([1, 2, 3]))
+        with pytest.raises(DecodingError):
+            Generation(gf16, np.zeros((0, 3), dtype=int))
+
+    def test_values_validated_against_field(self):
+        gf2 = GF(2)
+        with pytest.raises(Exception):
+            Generation.from_values(gf2, [[0, 5]])
+
+
+class TestCodedPacket:
+    def test_from_arrays_and_back(self, gf16):
+        packet = CodedPacket.from_arrays(np.array([1, 0, 2]), np.array([7, 8]))
+        assert packet.k == 3
+        assert packet.payload_length == 2
+        assert np.array_equal(packet.coefficient_array(gf16), [1, 0, 2])
+        assert np.array_equal(packet.payload_array(gf16), [7, 8])
+
+    def test_unit_packet(self, gf16):
+        packet = CodedPacket.unit(gf16, 4, 2, np.array([9, 9]))
+        assert packet.coefficients == (0, 0, 1, 0)
+        assert packet.payload == (9, 9)
+
+    def test_unit_packet_index_out_of_range(self, gf16):
+        with pytest.raises(DecodingError):
+            CodedPacket.unit(gf16, 4, 7, np.array([0, 0]))
+
+    def test_is_zero(self):
+        assert CodedPacket(coefficients=(0, 0), payload=(0,)).is_zero
+        assert not CodedPacket(coefficients=(0, 1), payload=(0,)).is_zero
+
+    def test_size_in_bits(self, gf16):
+        packet = CodedPacket(coefficients=(1, 2, 3), payload=(4, 5))
+        # 5 symbols x 4 bits each for GF(16).
+        assert packet.size_in_bits(gf16) == 20
+        gf2 = GF(2)
+        packet2 = CodedPacket(coefficients=(1, 0, 1), payload=(1, 1))
+        assert packet2.size_in_bits(gf2) == 5
+
+    def test_packet_is_hashable_and_frozen(self):
+        packet = CodedPacket(coefficients=(1, 2), payload=(3,))
+        assert hash(packet) == hash(CodedPacket(coefficients=(1, 2), payload=(3,)))
+        with pytest.raises(AttributeError):
+            packet.coefficients = (0, 0)  # type: ignore[misc]

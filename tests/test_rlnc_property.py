@@ -1,0 +1,116 @@
+"""Property-based tests for the RLNC codec.
+
+The key invariants:
+
+* feeding any sequence of coded packets (helpful or not, in any order) never
+  makes the decoder's rank exceed ``k`` nor decrease;
+* once the rank reaches ``k``, decoding recovers the original generation
+  exactly, regardless of which packets were received;
+* the helpfulness predicate agrees with the rank change actually observed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import GF
+from repro.rlnc import CodedPacket, Generation, RlncDecoder, encode_from_decoder, is_helpful_node
+
+
+@st.composite
+def generation_strategy(draw):
+    order = draw(st.sampled_from([2, 4, 16]))
+    k = draw(st.integers(min_value=1, max_value=5))
+    r = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    field = GF(order)
+    rng = np.random.default_rng(seed)
+    return field, Generation.random(field, k, r, rng), rng
+
+
+@given(generation_strategy(), st.integers(min_value=1, max_value=40))
+@settings(max_examples=60, deadline=None)
+def test_rank_monotone_and_bounded(data, packet_count):
+    field, generation, rng = data
+    source = RlncDecoder(field, generation.k, generation.payload_length)
+    for index in range(generation.k):
+        source.add_source_message(index, generation.payload_matrix[index])
+    sink = RlncDecoder(field, generation.k, generation.payload_length)
+    previous_rank = 0
+    for _ in range(packet_count):
+        packet = encode_from_decoder(source, rng)
+        helpful = sink.receive(packet)
+        assert sink.rank >= previous_rank
+        assert sink.rank <= generation.k
+        assert helpful == (sink.rank == previous_rank + 1)
+        previous_rank = sink.rank
+
+
+@given(generation_strategy())
+@settings(max_examples=60, deadline=None)
+def test_complete_decoder_recovers_generation(data):
+    field, generation, rng = data
+    source = RlncDecoder(field, generation.k, generation.payload_length)
+    for index in range(generation.k):
+        source.add_source_message(index, generation.payload_matrix[index])
+    sink = RlncDecoder(field, generation.k, generation.payload_length)
+    safety = 0
+    while not sink.is_complete:
+        sink.receive(encode_from_decoder(source, rng))
+        safety += 1
+        assert safety < 60 * generation.k + 200
+    assert np.array_equal(sink.decode(), generation.payload_matrix)
+
+
+@given(generation_strategy(), st.lists(st.integers(min_value=0, max_value=4), max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_helpful_node_predicate_matches_possible_gain(data, receiver_indices):
+    field, generation, rng = data
+    indices = sorted({i % generation.k for i in receiver_indices})
+    source = RlncDecoder(field, generation.k, generation.payload_length)
+    for index in range(generation.k):
+        source.add_source_message(index, generation.payload_matrix[index])
+    receiver = RlncDecoder(field, generation.k, generation.payload_length)
+    for index in indices:
+        receiver.add_source_message(index, generation.payload_matrix[index])
+    helpful = is_helpful_node(source, receiver)
+    assert helpful == (receiver.rank < generation.k)
+
+
+@given(generation_strategy(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_relaying_through_an_intermediate_node_preserves_decodability(data, relay_seed):
+    """A two-hop chain source → relay → sink still lets the sink decode, even
+    though the relay re-encodes (the essence of network coding)."""
+    field, generation, rng = data
+    relay_rng = np.random.default_rng(relay_seed)
+    source = RlncDecoder(field, generation.k, generation.payload_length)
+    for index in range(generation.k):
+        source.add_source_message(index, generation.payload_matrix[index])
+    relay = RlncDecoder(field, generation.k, generation.payload_length)
+    sink = RlncDecoder(field, generation.k, generation.payload_length)
+    safety = 0
+    while not sink.is_complete:
+        relay.receive(encode_from_decoder(source, rng))
+        packet = encode_from_decoder(relay, relay_rng)
+        if packet is not None:
+            sink.receive(packet)
+        safety += 1
+        assert safety < 200 * generation.k + 400
+    assert np.array_equal(sink.decode(), generation.payload_matrix)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=15), min_size=4, max_size=4),
+    st.lists(st.integers(min_value=0, max_value=15), min_size=2, max_size=2),
+)
+@settings(max_examples=60, deadline=None)
+def test_inconsistent_dimensions_never_accepted_silently(coeffs, payload):
+    """Arbitrary hand-built packets either raise (wrong size) or are processed."""
+    field = GF(16)
+    decoder = RlncDecoder(field, 4, 2)
+    packet = CodedPacket(coefficients=tuple(coeffs), payload=tuple(payload))
+    decoder.receive(packet)  # must not raise for matching sizes
+    assert decoder.rank <= 1
