@@ -1,0 +1,25 @@
+# Development entry points.  Everything runs from a bare checkout: src/ is
+# put on sys.path by conftest.py (tests) or PYTHONPATH (direct invocations),
+# so no editable install is required.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke docs-check
+
+## Tier-1 test suite (unit + property + integration).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Scaled-down benchmark pass: proves the harness and the batch fast path
+## work without paying full benchmark sizes.  The full reproduction is
+## `pytest benchmarks/<script> --benchmark-only` per script.
+bench-smoke:
+	REPRO_BENCH_BATCH_N=32 REPRO_BENCH_BATCH_TRIALS=8 \
+		$(PYTHON) -m pytest benchmarks/bench_batch_core.py --benchmark-only -q
+	$(PYTHON) -m repro experiment E1-uniform-ag --trials 2
+
+## Documentation drift check: executes every fenced Python block in
+## README.md and the quickstart example they mirror.
+docs-check:
+	$(PYTHON) -m pytest tests/test_docs.py -q

@@ -10,6 +10,7 @@ numbers from a file that any reader can regenerate with
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 from typing import Any, Mapping, Sequence
@@ -27,6 +28,17 @@ OUTPUT_DIR = Path(__file__).resolve().parent / "output"
 #: *simulated stopping time* (rounds), not the wall-clock of the simulator, so
 #: repeated timing iterations would only burn time.
 PEDANTIC = dict(rounds=1, iterations=1, warmup_rounds=0)
+
+#: Worker processes for sweep trials (``REPRO_BENCH_JOBS=4 pytest ...``).
+#: ``None`` runs trials in-process through the vectorised batch engine, which
+#: is already the fast path; the results are bit-identical for any value.
+#: Empty, non-numeric or non-positive values mean "in-process" rather than
+#: breaking benchmark collection at import time.
+try:
+    _jobs = int(os.environ.get("REPRO_BENCH_JOBS", "0"))
+except ValueError:
+    _jobs = 0
+BENCH_JOBS = _jobs if _jobs > 0 else None
 
 
 def report(experiment_id: str, title: str, rows: Sequence[Mapping[str, Any]],

@@ -1,0 +1,114 @@
+"""E9 — the batch simulation core: vectorised trials vs scalar decoders.
+
+Runs the same Table-1-style workload — uniform algebraic gossip, EXCHANGE,
+synchronous rounds, ``k`` messages spread over a complete graph on ``n``
+nodes — through the three trial runners:
+
+* sequential: one :class:`~repro.gossip.engine.GossipEngine` per trial with
+  per-node scalar :class:`~repro.rlnc.decoder.RlncDecoder` elimination,
+* batched: all trials in one :class:`~repro.gossip.batch.BatchGossipEngine`
+  backed by the vectorised :class:`~repro.rlnc.batch.BatchDecoder`,
+* parallel: the batched runner sharded over worker processes.
+
+The reproduced table reports wall-clock seconds and the speedup over the
+sequential path.  The assertions are the contract of the fast path: the
+batched and parallel runners must be **bit-identical** to the sequential one
+(same seeds → same stopping times, message counts and completion rounds) and
+the batched runner must be at least 5x faster at ``n = 128``.
+
+Scale knobs (for smoke runs): ``REPRO_BENCH_BATCH_N`` and
+``REPRO_BENCH_BATCH_TRIALS`` shrink the workload without changing the checks.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from _utils import PEDANTIC, report
+from repro.analysis.stopping_time import measure_protocol
+from repro.experiments import default_config, uniform_ag_case
+from repro.experiments.parallel import (
+    default_jobs,
+    measure_protocol_batched,
+    measure_protocol_parallel,
+)
+
+N = int(os.environ.get("REPRO_BENCH_BATCH_N", "128"))
+K = 16
+TRIALS = int(os.environ.get("REPRO_BENCH_BATCH_TRIALS", "64"))
+SEED = 909
+MIN_SPEEDUP = 5.0
+
+
+def _signature(results):
+    """Everything that must coincide across runners, per trial."""
+    return [
+        (r.rounds, r.timeslots, r.messages_sent, r.helpful_messages,
+         dict(r.completion_rounds))
+        for r in results
+    ]
+
+
+def _run():
+    case = uniform_ag_case("complete", N, K, config=default_config(max_rounds=50_000))
+    timings = {}
+
+    start = time.perf_counter()
+    sequential = measure_protocol(
+        case.graph, case.protocol_factory, case.config, trials=TRIALS, seed=SEED
+    )
+    timings["sequential (scalar decoders)"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = measure_protocol_batched(
+        case.graph, case.protocol_factory, case.config, trials=TRIALS, seed=SEED
+    )
+    timings["batched (BatchDecoder)"] = time.perf_counter() - start
+
+    jobs = min(default_jobs(), 8)
+    start = time.perf_counter()
+    parallel = measure_protocol_parallel(
+        case.graph, case.protocol_factory, case.config,
+        trials=TRIALS, seed=SEED, jobs=jobs,
+    )
+    timings[f"parallel (batched, jobs={jobs})"] = time.perf_counter() - start
+
+    assert _signature(batched) == _signature(sequential), (
+        "batched runner diverged from the sequential runner"
+    )
+    assert _signature(parallel) == _signature(sequential), (
+        "parallel runner diverged from the sequential runner"
+    )
+
+    base = timings["sequential (scalar decoders)"]
+    rounds = [r.rounds for r in sequential]
+    rows = [
+        {
+            "runner": runner,
+            "seconds": round(seconds, 2),
+            "speedup": round(base / seconds, 2),
+            "mean_rounds": round(sum(rounds) / len(rounds), 2),
+        }
+        for runner, seconds in timings.items()
+    ]
+    return rows
+
+
+def test_batch_core_speedup(benchmark):
+    rows = benchmark.pedantic(_run, **PEDANTIC)
+    report(
+        "E9-batch-core",
+        f"Batch simulation core — uniform AG on complete(n={N}), k={K}, "
+        f"{TRIALS} trials, synchronous EXCHANGE",
+        rows,
+        notes=[
+            "All three runners are bit-identical (asserted): same seeds give "
+            "the same per-trial stopping times, message counts and "
+            "completion rounds.",
+            f"The batched runner must be at least {MIN_SPEEDUP:.0f}x faster "
+            "than the sequential scalar-decoder path.",
+        ],
+    )
+    batched_row = next(row for row in rows if row["runner"].startswith("batched"))
+    assert batched_row["speedup"] >= MIN_SPEEDUP

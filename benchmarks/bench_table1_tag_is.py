@@ -16,7 +16,7 @@ import math
 import numpy as np
 import pytest
 
-from _utils import PEDANTIC, report
+from _utils import BENCH_JOBS, PEDANTIC, report
 from repro.analysis import fit_linear, run_sweep, scaling_table
 from repro.core import SimulationConfig, TimeModel
 from repro.experiments import default_config, tag_case
@@ -62,7 +62,7 @@ def _tag_is_k_sweep(time_model: TimeModel):
                  label=f"k={k}", value=k)
         for k in ks
     ]
-    points = run_sweep(cases, trials=TRIALS, seed=505)
+    points = run_sweep(cases, trials=TRIALS, seed=505, jobs=BENCH_JOBS)
     rows = scaling_table(points, bound_names=("lower",), value_header="k")
     fit = fit_linear([p.value for p in points], [p.mean for p in points])
     return rows, fit

@@ -51,7 +51,7 @@ from .errors import (
     TopologyError,
 )
 from .gf import GF
-from .gossip import EventTrace, GossipEngine, run_protocol
+from .gossip import BatchGossipEngine, EventTrace, GossipEngine, run_protocol
 from .graphs import build_topology
 from .protocols import (
     AlgebraicGossip,
@@ -60,7 +60,7 @@ from .protocols import (
     TagProtocol,
     UniformBroadcastTree,
 )
-from .rlnc import CodedPacket, Generation, RlncDecoder, RlncEncoder
+from .rlnc import BatchDecoder, CodedPacket, Generation, RlncDecoder, RlncEncoder
 
 __version__ = "1.0.0"
 
@@ -82,6 +82,7 @@ __all__ = [
     "TopologyError",
     "GF",
     "EventTrace",
+    "BatchGossipEngine",
     "GossipEngine",
     "run_protocol",
     "build_topology",
@@ -90,6 +91,7 @@ __all__ = [
     "RoundRobinBroadcastTree",
     "TagProtocol",
     "UniformBroadcastTree",
+    "BatchDecoder",
     "CodedPacket",
     "Generation",
     "RlncDecoder",

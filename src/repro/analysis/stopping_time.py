@@ -49,7 +49,15 @@ def measure_protocol(
     trials: int = 5,
     seed: int = 0,
 ) -> list[RunResult]:
-    """Run ``trials`` independent simulations and return every :class:`RunResult`."""
+    """Run ``trials`` independent simulations and return every :class:`RunResult`.
+
+    This is the sequential reference runner.
+    :func:`repro.experiments.parallel.measure_protocol_batched` and
+    :func:`~repro.experiments.parallel.measure_protocol_parallel` produce the
+    same results (same seeds → same stopping times) through the vectorised
+    batch engine and worker processes respectively; prefer them for large
+    trial counts.
+    """
     if trials < 1:
         raise AnalysisError(f"trials must be positive, got {trials}")
     results: list[RunResult] = []

@@ -83,20 +83,57 @@ class SweepPoint:
 
 
 def run_sweep(
-    cases: Sequence[SweepCase], *, trials: int = 5, seed: int = 0
+    cases: Sequence[SweepCase],
+    *,
+    trials: int = 5,
+    seed: int = 0,
+    jobs: int | None = None,
+    batch: bool = True,
 ) -> list[SweepPoint]:
-    """Execute every case of a sweep and return one point per case."""
+    """Execute every case of a sweep and return one point per case.
+
+    Parameters
+    ----------
+    trials, seed:
+        Monte Carlo repetitions per case and the root seed; case ``i`` uses
+        ``seed + i * 10_007`` so cases stay independent.
+    jobs:
+        When set (> 1), each case's trials are spread over that many worker
+        processes via :func:`repro.experiments.parallel.run_trials_parallel`.
+    batch:
+        When ``True`` (default), cases whose protocol supports the rank-only
+        fast path run through the vectorised
+        :class:`~repro.gossip.batch.BatchGossipEngine`; others fall back to
+        the sequential engine automatically.  Results are bit-identical
+        either way — same seeds, same stopping times — so this is purely a
+        wall-clock knob.
+    """
     if not cases:
         raise AnalysisError("run_sweep requires at least one case")
+    if jobs is not None and jobs < 1:
+        raise AnalysisError(f"jobs must be positive, got {jobs}")
+    # Imported lazily: repro.experiments imports this module at package
+    # import time, so a top-level import would be circular.
+    from ..experiments.parallel import run_trials_batched, run_trials_parallel
+
     points: list[SweepPoint] = []
     for index, case in enumerate(cases):
-        stats = run_trials(
-            case.graph,
-            case.protocol_factory,
-            case.config,
-            trials=trials,
-            seed=seed + index * 10_007,
-        )
+        case_seed = seed + index * 10_007
+        if jobs is not None and jobs > 1:
+            stats = run_trials_parallel(
+                case.graph, case.protocol_factory, case.config,
+                trials=trials, seed=case_seed, jobs=jobs, batch=batch,
+            )
+        elif batch:
+            stats = run_trials_batched(
+                case.graph, case.protocol_factory, case.config,
+                trials=trials, seed=case_seed,
+            )
+        else:
+            stats = run_trials(
+                case.graph, case.protocol_factory, case.config,
+                trials=trials, seed=case_seed,
+            )
         points.append(
             SweepPoint(
                 label=case.label,

@@ -1,15 +1,20 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows:
+Three subcommands cover the common workflows (run ``python -m repro <cmd>
+--help`` for the full flag reference of each):
 
 ``run``
-    One dissemination run on a named topology with a chosen protocol::
+    Gossip dissemination on a named topology with a chosen protocol.  One
+    run by default; with ``--trials`` it becomes a Monte Carlo measurement
+    that reports stopping-time statistics, using the vectorised batch engine
+    and (with ``--jobs``) worker processes::
 
         python -m repro run --topology barbell --n 24 --protocol tag --seed 3
+        python -m repro run --topology complete --n 64 --trials 32 --jobs 4
 
 ``experiment``
-    Execute a registered experiment (E1–E8 or a user-registered one) and print
-    its table::
+    Execute a registered experiment (E1–E8 or a user-registered one) and
+    print its table::
 
         python -m repro experiment E2-constant-degree --trials 2
 
@@ -18,6 +23,12 @@ Three subcommands cover the common workflows:
     chosen ``n`` and ``k``::
 
         python -m repro tables --n 32 --k 16
+
+Every stochastic quantity derives from ``--seed`` (see
+:mod:`repro.core.rng`), so any reported number can be reproduced exactly by
+re-running the same command — including under ``--jobs``, because each trial's
+generator depends only on the root seed and the trial index, never on the
+process that executes it.
 """
 
 from __future__ import annotations
@@ -29,7 +40,14 @@ from typing import Sequence
 from .analysis import format_table, table1_rows, table2_rows
 from .core import TimeModel
 from .errors import ReproError
-from .experiments import EXPERIMENTS, run_experiment
+from .experiments import (
+    EXPERIMENTS,
+    default_config,
+    run_experiment,
+    run_trials_parallel,
+    tag_case,
+    uniform_ag_case,
+)
 from .graphs import TOPOLOGY_BUILDERS, build_topology
 from . import quick_run
 
@@ -44,38 +62,141 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Order Optimal Information Spreading Using "
             "Algebraic Gossip' (Avin et al., PODC 2011)."
         ),
+        epilog=(
+            "All randomness derives from --seed; identical commands print "
+            "identical numbers."
+        ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    run_parser = subparsers.add_parser("run", help="run one gossip dissemination")
-    run_parser.add_argument("--topology", choices=sorted(TOPOLOGY_BUILDERS), default="ring")
-    run_parser.add_argument("--n", type=int, default=16, help="number of nodes (approximate)")
-    run_parser.add_argument("--k", type=int, default=None,
-                            help="number of messages (default: n, i.e. all-to-all)")
-    run_parser.add_argument("--protocol", choices=["uniform", "tag", "tag-is"],
-                            default="uniform")
-    run_parser.add_argument("--time-model", choices=[m.value for m in TimeModel],
-                            default=TimeModel.SYNCHRONOUS.value)
-    run_parser.add_argument("--field-size", type=int, default=16)
-    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser = subparsers.add_parser(
+        "run",
+        help="run gossip dissemination (one run, or --trials N for statistics)",
+        description=(
+            "Disseminate k messages over a named topology and report the "
+            "stopping time.  With --trials 1 (the default) prints the single "
+            "run's summary and protocol metadata; with --trials N runs N "
+            "independently seeded trials — through the vectorised batch "
+            "engine, and across --jobs worker processes if requested — and "
+            "prints the aggregate stopping-time statistics."
+        ),
+    )
+    run_parser.add_argument(
+        "--topology", choices=sorted(TOPOLOGY_BUILDERS), default="ring",
+        help="communication graph family (default: %(default)s)",
+    )
+    run_parser.add_argument(
+        "--n", type=int, default=16,
+        help="number of nodes; some families round it, e.g. grids (default: %(default)s)",
+    )
+    run_parser.add_argument(
+        "--k", type=int, default=None,
+        help="number of source messages (default: n, i.e. all-to-all)",
+    )
+    run_parser.add_argument(
+        "--protocol", choices=["uniform", "tag", "tag-is"], default="uniform",
+        help=(
+            "uniform = uniform algebraic gossip (Theorem 1); tag = TAG with "
+            "the round-robin broadcast tree (Theorem 4); tag-is = TAG with "
+            "the simulated IS protocol (Section 6) (default: %(default)s)"
+        ),
+    )
+    run_parser.add_argument(
+        "--time-model", choices=[m.value for m in TimeModel],
+        default=TimeModel.SYNCHRONOUS.value,
+        help="synchronous rounds or asynchronous timeslots (default: %(default)s)",
+    )
+    run_parser.add_argument(
+        "--field-size", type=int, default=16,
+        help="RLNC field order q, any supported prime power (default: %(default)s)",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed for all randomness (default: %(default)s)",
+    )
+    run_parser.add_argument(
+        "--trials", type=int, default=1,
+        help=(
+            "number of independently seeded trials; values > 1 switch to the "
+            "Monte Carlo statistics mode (default: %(default)s)"
+        ),
+    )
+    run_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help=(
+            "worker processes for --trials > 1; results are identical for "
+            "any value (default: run in-process)"
+        ),
+    )
+    run_parser.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=True,
+        help=(
+            "use the vectorised rank-only batch engine when the protocol "
+            "supports it; --no-batch forces the sequential scalar decoders "
+            "(same results, slower)"
+        ),
+    )
 
     experiment_parser = subparsers.add_parser(
-        "experiment", help="run a registered experiment and print its table"
+        "experiment",
+        help="run a registered experiment and print its table",
+        description=(
+            "Run one of the named experiments (each reproduces a row or "
+            "figure of the paper at CI-friendly sizes) and print its "
+            "measured-vs-bound table."
+        ),
     )
-    experiment_parser.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
-    experiment_parser.add_argument("--trials", type=int, default=None)
-    experiment_parser.add_argument("--seed", type=int, default=0)
+    experiment_parser.add_argument(
+        "experiment_id", choices=sorted(EXPERIMENTS),
+        help="registered experiment id",
+    )
+    experiment_parser.add_argument(
+        "--trials", type=int, default=None,
+        help="override the experiment's per-case trial count",
+    )
+    experiment_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed for all randomness (default: %(default)s)",
+    )
+    experiment_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes per sweep case (default: run in-process)",
+    )
+    experiment_parser.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=True,
+        help=(
+            "use the vectorised batch engine for rank-only cases; "
+            "--no-batch forces the sequential path (same results, slower)"
+        ),
+    )
 
     tables_parser = subparsers.add_parser(
-        "tables", help="print the analytic Table 1 and Table 2 reproductions"
+        "tables",
+        help="print the analytic Table 1 and Table 2 reproductions",
+        description=(
+            "Evaluate the paper's Table 1 (protocol comparison bounds) and "
+            "Table 2 (per-topology graph parameters and bounds) analytically "
+            "for the given n and k — no simulation involved."
+        ),
     )
-    tables_parser.add_argument("--n", type=int, default=32)
-    tables_parser.add_argument("--k", type=int, default=16)
+    tables_parser.add_argument(
+        "--n", type=int, default=32,
+        help="number of nodes to evaluate the bounds at (default: %(default)s)",
+    )
+    tables_parser.add_argument(
+        "--k", type=int, default=16,
+        help="number of messages to evaluate the bounds at (default: %(default)s)",
+    )
 
     return parser
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    if args.trials < 1:
+        print(f"error: --trials must be positive, got {args.trials}", file=sys.stderr)
+        return 2
+    if args.trials > 1:
+        return _command_run_trials(args)
     result = quick_run(
         args.topology,
         n=args.n,
@@ -91,8 +212,38 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0 if result.completed else 1
 
 
+def _command_run_trials(args: argparse.Namespace) -> int:
+    """Monte Carlo mode of ``run``: aggregate statistics over seeded trials."""
+    config = default_config(
+        time_model=TimeModel(args.time_model),
+        field_size=args.field_size,
+        max_rounds=200_000,
+    )
+    k = args.k if args.k is not None else args.n
+    if args.protocol == "uniform":
+        case = uniform_ag_case(args.topology, args.n, k, config=config)
+    elif args.protocol == "tag":
+        case = tag_case(args.topology, args.n, k, spanning_tree="brr", config=config)
+    else:
+        case = tag_case(args.topology, args.n, k, spanning_tree="is", config=config)
+    stats = run_trials_parallel(
+        case.graph, case.protocol_factory, case.config,
+        trials=args.trials, seed=args.seed,
+        jobs=1 if args.jobs is None else args.jobs,
+        batch=args.batch,
+    )
+    print(f"{args.protocol} on {case.label}: {stats.summary()}")
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
-    result = run_experiment(args.experiment_id, trials=args.trials, seed=args.seed)
+    result = run_experiment(
+        args.experiment_id,
+        trials=args.trials,
+        seed=args.seed,
+        jobs=args.jobs,
+        batch=args.batch,
+    )
     print(result.experiment.description)
     print(format_table(result.rows, title=args.experiment_id))
     return 0

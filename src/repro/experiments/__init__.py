@@ -1,10 +1,20 @@
-"""Named experiments, workloads and reporting used by the benchmark harness."""
+"""Named experiments, workloads, parallel trial runners and reporting."""
 
+from .parallel import (
+    default_jobs,
+    measure_protocol_batched,
+    measure_protocol_parallel,
+    run_trials_batched,
+    run_trials_parallel,
+)
 from .reporting import format_comparison, format_experiment_report, format_markdown_table
 from .runner import (
     EXPERIMENTS,
     Experiment,
     ExperimentResult,
+    SpanningTreeFactory,
+    TagFactory,
+    UniformGossipFactory,
     default_config,
     register_experiment,
     run_experiment,
@@ -22,6 +32,14 @@ from .workloads import (
 )
 
 __all__ = [
+    "default_jobs",
+    "measure_protocol_batched",
+    "measure_protocol_parallel",
+    "run_trials_batched",
+    "run_trials_parallel",
+    "SpanningTreeFactory",
+    "TagFactory",
+    "UniformGossipFactory",
     "format_comparison",
     "format_experiment_report",
     "format_markdown_table",

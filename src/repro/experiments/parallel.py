@@ -1,0 +1,225 @@
+"""Batched and multi-process Monte Carlo trial runners.
+
+The stopping-time statistics everywhere in this repository are Monte Carlo
+estimates over independent seeded trials.  This module provides three
+increasingly aggressive — but **bit-identical** — ways of running them:
+
+* :func:`~repro.analysis.stopping_time.measure_protocol` (sequential, in
+  :mod:`repro.analysis.stopping_time`): one
+  :class:`~repro.gossip.engine.GossipEngine` per trial, scalar decoders.
+* :func:`measure_protocol_batched` / :func:`run_trials_batched`: all trials
+  in one :class:`~repro.gossip.batch.BatchGossipEngine` when the protocol
+  supports the rank-only fast path (uniform algebraic gossip does), falling
+  back to the sequential engine otherwise.
+* :func:`measure_protocol_parallel` / :func:`run_trials_parallel`: the trial
+  set split across worker processes with a ``ProcessPoolExecutor``, each
+  worker running the batched engine on its chunk.
+
+Reproducibility is anchored in :mod:`repro.core.rng`: trial ``i`` always uses
+the generator ``derive_rng(seed, f"trial-{i}")`` regardless of which runner
+executes it, which worker process it lands on, or how trials are chunked — so
+all three runners return the same results trial-for-trial.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+import networkx as nx
+
+from ..core.config import SimulationConfig
+from ..core.results import RunResult, StoppingTimeStats, aggregate_results
+from ..core.rng import derive_rng
+from ..errors import AnalysisError
+from ..analysis.stopping_time import ProtocolFactory
+from ..gossip.batch import BatchGossipEngine
+from ..gossip.engine import GossipEngine
+
+__all__ = [
+    "measure_protocol_batched",
+    "run_trials_batched",
+    "measure_protocol_parallel",
+    "run_trials_parallel",
+    "default_jobs",
+]
+
+
+def default_jobs() -> int:
+    """Worker-process count used when ``jobs`` is not given: the CPU count."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _measure_trial_indices(
+    graph: nx.Graph,
+    protocol_factory: ProtocolFactory,
+    config: SimulationConfig,
+    seed: int,
+    trial_indices: Sequence[int],
+    batch: bool,
+) -> list[RunResult]:
+    """Run the selected trial streams, batched when allowed and possible.
+
+    The sequential fallback builds each trial's process lazily, one at a
+    time, so a long non-batchable run never holds more than one set of
+    scalar decoders in memory.  Only the batch engine — which needs every
+    trial's state simultaneously by design — constructs all processes.
+    """
+    rngs = [derive_rng(seed, f"trial-{index}") for index in trial_indices]
+    results: list[RunResult] = []
+    remaining = list(rngs)
+    if batch and remaining:
+        first = protocol_factory(graph, remaining[0])
+        if BatchGossipEngine.is_batchable(first):
+            processes = [first] + [protocol_factory(graph, rng) for rng in remaining[1:]]
+            return BatchGossipEngine(graph, processes, config, rngs).run()
+        results.append(GossipEngine(graph, first, config, remaining[0]).run())
+        remaining = remaining[1:]
+    for rng in remaining:
+        process = protocol_factory(graph, rng)
+        results.append(GossipEngine(graph, process, config, rng).run())
+    return results
+
+
+def measure_protocol_batched(
+    graph: nx.Graph,
+    protocol_factory: ProtocolFactory,
+    config: SimulationConfig,
+    *,
+    trials: int = 5,
+    seed: int = 0,
+    trial_indices: Sequence[int] | None = None,
+) -> list[RunResult]:
+    """Run seeded trials through the vectorised batch engine when possible.
+
+    Each trial's process is built with its own derived generator (so
+    setup-time draws are consumed exactly as in the sequential runner); if
+    the protocol opts in to the rank-only fast path the whole set runs in
+    one :class:`~repro.gossip.batch.BatchGossipEngine`, otherwise the trials
+    run sequentially with the same generators.  Either way the returned
+    results are identical to :func:`~repro.analysis.stopping_time.measure_protocol`.
+
+    ``trial_indices`` selects which trial streams to run (default
+    ``0 .. trials-1``); the parallel runner uses it to assign disjoint chunks
+    to workers without perturbing any trial's randomness.
+    """
+    if trial_indices is None:
+        if trials < 1:
+            raise AnalysisError(f"trials must be positive, got {trials}")
+        trial_indices = range(trials)
+    return _measure_trial_indices(
+        graph, protocol_factory, config, seed, trial_indices, batch=True
+    )
+
+
+def run_trials_batched(
+    graph: nx.Graph,
+    protocol_factory: ProtocolFactory,
+    config: SimulationConfig,
+    *,
+    trials: int = 5,
+    seed: int = 0,
+) -> StoppingTimeStats:
+    """Like :func:`~repro.analysis.stopping_time.run_trials`, batched."""
+    return aggregate_results(
+        measure_protocol_batched(
+            graph, protocol_factory, config, trials=trials, seed=seed
+        )
+    )
+
+
+def _run_chunk(payload: bytes) -> list[RunResult]:
+    """Worker entry point: unpickle one chunk description and run it."""
+    graph, protocol_factory, config, seed, indices, batch = pickle.loads(payload)
+    return _measure_trial_indices(
+        graph, protocol_factory, config, seed, indices, batch
+    )
+
+
+def _chunks(indices: Sequence[int], jobs: int) -> list[list[int]]:
+    """Split trial indices into at most ``jobs`` contiguous, balanced chunks."""
+    jobs = max(1, min(jobs, len(indices)))
+    size, remainder = divmod(len(indices), jobs)
+    chunks: list[list[int]] = []
+    start = 0
+    for j in range(jobs):
+        stop = start + size + (1 if j < remainder else 0)
+        chunks.append(list(indices[start:stop]))
+        start = stop
+    return chunks
+
+
+def measure_protocol_parallel(
+    graph: nx.Graph,
+    protocol_factory: ProtocolFactory,
+    config: SimulationConfig,
+    *,
+    trials: int = 5,
+    seed: int = 0,
+    jobs: int | None = None,
+    batch: bool = True,
+) -> list[RunResult]:
+    """Run seeded trials across worker processes; results stay in trial order.
+
+    The trial set is split into contiguous chunks, one worker process per
+    chunk, and every worker runs its indices — through the batch engine when
+    ``batch`` is true and the protocol allows it, sequentially otherwise.
+    Because trial ``i`` derives its generator from the root seed alone
+    (``derive_rng(seed, f"trial-{i}")`` — the spawned-child-seed scheme of
+    :mod:`repro.core.rng`), the partitioning has no effect on any trial's
+    randomness and the concatenated results equal the sequential runner's
+    trial-for-trial.
+
+    Falls back to in-process execution when only one job is needed or when
+    the factory cannot be pickled (e.g. a locally defined closure).
+    """
+    if trials < 1:
+        raise AnalysisError(f"trials must be positive, got {trials}")
+    jobs = default_jobs() if jobs is None else jobs
+    if jobs < 1:
+        raise AnalysisError(f"jobs must be positive, got {jobs}")
+    jobs = min(jobs, trials)
+    if jobs == 1:
+        return _measure_trial_indices(
+            graph, protocol_factory, config, seed, range(trials), batch
+        )
+    chunks = _chunks(range(trials), jobs)
+    try:
+        payloads = [
+            pickle.dumps((graph, protocol_factory, config, seed, chunk, batch))
+            for chunk in chunks
+        ]
+    except Exception:
+        # Unpicklable factories (lambdas, local closures) cannot cross a
+        # process boundary; run them in-process instead — the results are
+        # identical, only the wall-clock differs.
+        return _measure_trial_indices(
+            graph, protocol_factory, config, seed, range(trials), batch
+        )
+    with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+        chunk_results = list(pool.map(_run_chunk, payloads))
+    results: list[RunResult] = []
+    for chunk_result in chunk_results:
+        results.extend(chunk_result)
+    return results
+
+
+def run_trials_parallel(
+    graph: nx.Graph,
+    protocol_factory: ProtocolFactory,
+    config: SimulationConfig,
+    *,
+    trials: int = 5,
+    seed: int = 0,
+    jobs: int | None = None,
+    batch: bool = True,
+) -> StoppingTimeStats:
+    """Like :func:`~repro.analysis.stopping_time.run_trials`, multi-process."""
+    return aggregate_results(
+        measure_protocol_parallel(
+            graph, protocol_factory, config,
+            trials=trials, seed=seed, jobs=jobs, batch=batch,
+        )
+    )

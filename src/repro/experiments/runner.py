@@ -55,6 +55,9 @@ __all__ = [
     "uniform_ag_case",
     "tag_case",
     "default_config",
+    "UniformGossipFactory",
+    "TagFactory",
+    "SpanningTreeFactory",
 ]
 
 
@@ -83,6 +86,64 @@ def _placement_for(graph: nx.Graph, k: int) -> Placement:
     return spread_placement(graph, k)
 
 
+@dataclass
+class UniformGossipFactory:
+    """Picklable protocol factory for uniform algebraic gossip cases.
+
+    Sweep cases used to capture their parameters in closures, which cannot
+    cross a process boundary; a plain dataclass with ``__call__`` gives
+    :func:`repro.experiments.parallel.run_trials_parallel` something it can
+    ship to worker processes.  The field object itself is not stored — only
+    its order — so pickles stay small and each worker reuses its own cached
+    :func:`~repro.gf.GF` tables.
+    """
+
+    field_order: int
+    k: int
+    payload_length: int
+    placement: Placement
+    config: SimulationConfig
+
+    def __call__(self, graph: nx.Graph, rng: np.random.Generator) -> AlgebraicGossip:
+        generation = Generation.random(
+            GF(self.field_order), self.k, self.payload_length, rng
+        )
+        return AlgebraicGossip(graph, generation, self.placement, self.config, rng)
+
+
+@dataclass
+class SpanningTreeFactory:
+    """Picklable factory for the spanning-tree protocol TAG composes with."""
+
+    protocol: str
+    root: int
+
+    def __call__(self, graph: nx.Graph, rng: np.random.Generator):
+        if self.protocol == "is":
+            return ISSpanningTree(graph, rng)
+        return _TREE_PROTOCOLS[self.protocol](graph, self.root, rng)
+
+
+@dataclass
+class TagFactory:
+    """Picklable protocol factory for TAG sweep cases."""
+
+    field_order: int
+    k: int
+    payload_length: int
+    placement: Placement
+    config: SimulationConfig
+    spanning_tree: SpanningTreeFactory
+
+    def __call__(self, graph: nx.Graph, rng: np.random.Generator) -> TagProtocol:
+        generation = Generation.random(
+            GF(self.field_order), self.k, self.payload_length, rng
+        )
+        return TagProtocol(
+            graph, generation, self.placement, self.config, rng, self.spanning_tree
+        )
+
+
 def uniform_ag_case(
     topology: str,
     n: int,
@@ -99,14 +160,15 @@ def uniform_ag_case(
     actual_k = min(k, actual_n)
     cfg = config if config is not None else default_config()
     placement = _placement_for(graph, actual_k)
-    field = GF(cfg.field_size)
     diameter_value = graph_diameter(graph)
     delta = graph_max_degree(graph)
-
-    def factory(g: nx.Graph, rng: np.random.Generator) -> AlgebraicGossip:
-        generation = Generation.random(field, actual_k, cfg.payload_length, rng)
-        return AlgebraicGossip(g, generation, placement, cfg, rng)
-
+    factory = UniformGossipFactory(
+        field_order=cfg.field_size,
+        k=actual_k,
+        payload_length=cfg.payload_length,
+        placement=placement,
+        config=cfg,
+    )
     bounds = {
         "theorem1": uniform_ag_upper_bound(actual_n, actual_k, diameter_value, delta),
         "lower": k_dissemination_lower_bound(
@@ -155,20 +217,16 @@ def tag_case(
     actual_k = min(k, actual_n)
     cfg = config if config is not None else default_config()
     placement = _placement_for(graph, actual_k)
-    field = GF(cfg.field_size)
     diameter_value = graph_diameter(graph)
     root = sorted(graph.nodes())[0]
-    protocol_cls = _TREE_PROTOCOLS[spanning_tree]
-
-    def stp_factory(g: nx.Graph, rng: np.random.Generator):
-        if spanning_tree == "is":
-            return ISSpanningTree(g, rng)
-        return protocol_cls(g, root, rng)
-
-    def factory(g: nx.Graph, rng: np.random.Generator) -> TagProtocol:
-        generation = Generation.random(field, actual_k, cfg.payload_length, rng)
-        return TagProtocol(g, generation, placement, cfg, rng, stp_factory)
-
+    factory = TagFactory(
+        field_order=cfg.field_size,
+        k=actual_k,
+        payload_length=cfg.payload_length,
+        placement=placement,
+        config=cfg,
+        spanning_tree=SpanningTreeFactory(protocol=spanning_tree, root=root),
+    )
     bounds = {
         "theorem4": tag_upper_bound(
             actual_n, actual_k, 2 * diameter_value, brr_broadcast_upper_bound(actual_n)
@@ -221,9 +279,21 @@ def register_experiment(experiment: Experiment) -> Experiment:
 
 
 def run_experiment(
-    experiment_id: str, *, trials: int | None = None, seed: int = 0
+    experiment_id: str,
+    *,
+    trials: int | None = None,
+    seed: int = 0,
+    jobs: int | None = None,
+    batch: bool = True,
 ) -> ExperimentResult:
-    """Run a registered experiment and return its sweep points and table rows."""
+    """Run a registered experiment and return its sweep points and table rows.
+
+    ``jobs`` and ``batch`` are forwarded to
+    :func:`~repro.analysis.sweep.run_sweep`: ``batch`` (default on) routes
+    rank-only cases through the vectorised batch engine, ``jobs`` spreads the
+    trials of each case over that many worker processes.  Neither changes the
+    results — same seeds, same stopping times.
+    """
     try:
         experiment = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -231,7 +301,9 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
     cases = list(experiment.build_cases())
-    points = run_sweep(cases, trials=trials or experiment.trials, seed=seed)
+    points = run_sweep(
+        cases, trials=trials or experiment.trials, seed=seed, jobs=jobs, batch=batch
+    )
     rows = scaling_table(
         points, bound_names=experiment.bound_names, value_header=experiment.value_header
     )

@@ -18,6 +18,7 @@ from functools import lru_cache
 
 from .field import ExtensionField, GaloisField, PrimeField
 from .linalg import (
+    BatchEliminator,
     identity,
     invert_matrix,
     is_in_row_space,
@@ -33,6 +34,7 @@ __all__ = [
     "GaloisField",
     "PrimeField",
     "ExtensionField",
+    "BatchEliminator",
     "identity",
     "invert_matrix",
     "is_in_row_space",

@@ -34,6 +34,14 @@ __all__ = ["GaloisField", "PrimeField", "ExtensionField"]
 def _as_array(values: object, order: int) -> np.ndarray:
     """Convert ``values`` to an integer numpy array and range-check it."""
     array = np.asarray(values)
+    if array.dtype.kind == "b":
+        # Booleans are deliberately rejected rather than silently promoted to
+        # 0/1: a mask passed where field elements were expected is almost
+        # always a bug (e.g. ``matrix != 0`` instead of ``matrix``).
+        raise FieldError(
+            "field elements must be integers, got a boolean array; "
+            "cast explicitly (e.g. values.astype(np.uint8)) if 0/1 was intended"
+        )
     if array.dtype.kind not in "iu":
         if array.dtype.kind == "f" and np.all(array == np.floor(array)):
             array = array.astype(np.int64)
@@ -138,6 +146,44 @@ class GaloisField(ABC):
         scalars = np.full(vector.shape, scalar, dtype=self.dtype)
         return self.mul(scalars, vector)
 
+    # -- raw (unchecked) vectorised operations --------------------------
+    #
+    # The ``raw_*`` family skips validation and dtype conversion entirely:
+    # inputs must already be arrays of this field's dtype with in-range
+    # entries, and broadcasting follows plain numpy rules.  These exist for
+    # hot loops — the batched eliminator sweeps millions of elements per call
+    # and cannot afford a min/max range check per operation.  Everything else
+    # should use the checked ``add``/``mul``/... methods above.
+
+    @abstractmethod
+    def raw_add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Unchecked element-wise addition of in-range arrays of :attr:`dtype`."""
+
+    @abstractmethod
+    def raw_sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Unchecked element-wise subtraction ``a - b``."""
+
+    @abstractmethod
+    def raw_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Unchecked element-wise multiplication."""
+
+    @abstractmethod
+    def raw_inv(self, a: np.ndarray) -> np.ndarray:
+        """Unchecked element-wise inverse; behaviour on zeros is undefined."""
+
+    def raw_combine(self, coefficients: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Unchecked linear combination ``sum_i coefficients[i] * rows[i]``.
+
+        ``coefficients`` has shape ``(m,)`` and ``rows`` shape ``(m, r)``; the
+        result has shape ``(r,)``.  This is the vectorised counterpart of
+        :meth:`dot` used by the batch encoder fast path.
+        """
+        products = self.raw_mul(coefficients[:, np.newaxis], rows)
+        result = np.zeros(rows.shape[1], dtype=self.dtype)
+        for row in products:
+            result = self.raw_add(result, row)
+        return result
+
     # -- utilities ------------------------------------------------------
     def validate(self, values) -> np.ndarray:
         """Return ``values`` as a range-checked array of this field's dtype."""
@@ -205,6 +251,25 @@ class PrimeField(GaloisField):
         if np.any(np.asarray(a) == 0):
             raise FieldError("cannot invert the zero element")
         return self._inverse_table[np.asarray(a, dtype=np.int64)]
+
+    # -- raw operations (no validation; see GaloisField.raw_add) --------
+    def raw_add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return ((a.astype(np.int64) + b) % self.order).astype(self.dtype)
+
+    def raw_sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return ((a.astype(np.int64) - b) % self.order).astype(self.dtype)
+
+    def raw_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return ((a.astype(np.int64) * b) % self.order).astype(self.dtype)
+
+    def raw_inv(self, a: np.ndarray) -> np.ndarray:
+        return self._inverse_table[np.asarray(a, dtype=np.int64)]
+
+    def raw_combine(self, coefficients: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        # Modular arithmetic sums exactly in int64 (m * (p-1)^2 stays far
+        # below 2^63 for every supported field), so one matvec suffices.
+        total = coefficients.astype(np.int64) @ rows.astype(np.int64)
+        return (total % self.order).astype(self.dtype)
 
 
 class ExtensionField(GaloisField):
@@ -335,3 +400,26 @@ class ExtensionField(GaloisField):
         if np.any(a == 0):
             raise FieldError("cannot invert the zero element")
         return self._inverse_table[a]
+
+    # -- raw operations (no validation; see GaloisField.raw_add) --------
+    def raw_add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._add_table[a, b]
+
+    def raw_sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._add_table[a, self._neg_table[b]]
+
+    def raw_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._mul_table[a, b]
+
+    def raw_inv(self, a: np.ndarray) -> np.ndarray:
+        return self._inverse_table[a]
+
+    def raw_combine(self, coefficients: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        products = self._mul_table[coefficients[:, np.newaxis], rows]
+        if self.characteristic == 2:
+            # Characteristic 2: addition is XOR of the bit-vector elements.
+            return np.bitwise_xor.reduce(products, axis=0).astype(self.dtype)
+        result = np.zeros(rows.shape[1], dtype=self.dtype)
+        for row in products:
+            result = self._add_table[result, row]
+        return result

@@ -27,6 +27,7 @@ __all__ = [
     "invert_matrix",
     "identity",
     "matmul",
+    "BatchEliminator",
 ]
 
 
@@ -187,6 +188,159 @@ def solve(field: GaloisField, matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray
     for row_index, col in enumerate(pivots):
         solution[col] = reduced[row_index, k:]
     return solution[:, 0] if squeeze else solution
+
+
+class BatchEliminator:
+    """Incremental Gaussian elimination over many independent problems at once.
+
+    The scalar :class:`~repro.rlnc.decoder.RlncDecoder` reduces one incoming
+    row against one node's stored pivots, which makes a Monte Carlo sweep of
+    ``T`` trials pay ``T`` separate Python-level elimination loops per event.
+    ``BatchEliminator`` instead carries the row-reduction state of ``batch``
+    independent problems (for gossip: trials x nodes) as stacked numpy arrays
+    and absorbs one new row *per problem* in a single vectorised ``GF(q)``
+    sweep — the add/mul/inverse lookup tables are applied to whole
+    ``(batch, columns)`` slabs instead of one short row at a time.
+
+    Representation: for every problem the stored rows form the *canonical*
+    reduced row-echelon basis of the absorbed row space, kept keyed by pivot
+    column (``rows[b, p]`` is the row whose pivot is column ``p``, if
+    ``pivot_mask[b, p]``).  Because the RREF basis of a subspace is unique,
+    this state matches the scalar decoder's stored rows exactly — which is
+    what makes the batched simulation fast path bit-identical to the
+    sequential one.
+    """
+
+    def __init__(self, field: GaloisField, batch: int, columns: int) -> None:
+        if batch < 1:
+            raise FieldError(f"batch size must be positive, got {batch}")
+        if columns < 1:
+            raise FieldError(f"column count must be positive, got {columns}")
+        self.field = field
+        self.batch = batch
+        self.columns = columns
+        #: ``rows[b, p]`` is the stored row of problem ``b`` with pivot column
+        #: ``p`` (all-zero when that pivot is absent).
+        self.rows = field.zeros((batch, columns, columns))
+        #: ``pivot_mask[b, p]`` — does problem ``b`` have a pivot in column ``p``?
+        self.pivot_mask = np.zeros((batch, columns), dtype=bool)
+        #: Current rank of every problem.
+        self.ranks = np.zeros(batch, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Absorbing rows
+    # ------------------------------------------------------------------
+    def eliminate(
+        self, incoming: np.ndarray, indices: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Absorb one row per selected problem; return the per-row rank gains.
+
+        Parameters
+        ----------
+        incoming:
+            ``(m, columns)`` array of field elements — row ``j`` is reduced
+            into problem ``indices[j]``.
+        indices:
+            ``(m,)`` array of **distinct** problem indices (default:
+            ``0 .. m-1``).  Distinctness is required because every selected
+            problem absorbs exactly one row in this sweep.
+
+        Returns
+        -------
+        numpy.ndarray
+            Boolean ``(m,)`` mask: ``True`` where the row was linearly
+            independent of its problem's stored rows (rank increased).
+        """
+        field = self.field
+        work = np.ascontiguousarray(incoming, dtype=field.dtype).copy()
+        if work.ndim != 2 or work.shape[1] != self.columns:
+            raise FieldError(
+                f"expected incoming rows of shape (m, {self.columns}), got {work.shape}"
+            )
+        if indices is None:
+            indices = np.arange(work.shape[0])
+        else:
+            indices = np.asarray(indices, dtype=np.int64)
+            if indices.shape != (work.shape[0],):
+                raise FieldError(
+                    f"indices shape {indices.shape} does not match {work.shape[0]} rows"
+                )
+            if indices.size > 1 and np.unique(indices).size != indices.size:
+                # A duplicated problem would silently lose one of its rows in
+                # the fancy-indexed writes below; feed such rows in separate
+                # sweeps instead.
+                raise FieldError(
+                    "eliminate requires distinct problem indices "
+                    "(one row per problem per sweep)"
+                )
+        # Forward sweep: one pass over the columns eliminates every stored
+        # pivot from every incoming row (RREF ⇒ a pivot row is zero in all
+        # *other* pivot columns, so earlier columns are never re-polluted).
+        for col in range(self.columns):
+            factor = work[:, col]
+            live = self.pivot_mask[indices, col] & (factor != 0)
+            if not live.any():
+                continue
+            sel = np.nonzero(live)[0]
+            pivot_rows = self.rows[indices[sel], col]
+            work[sel] = field.raw_sub(
+                work[sel], field.raw_mul(factor[sel, np.newaxis], pivot_rows)
+            )
+        nonzero = work != 0
+        helpful = nonzero.any(axis=1)
+        sel = np.nonzero(helpful)[0]
+        if sel.size:
+            # After a full reduction the first non-zero entry sits in a
+            # non-pivot column: that column becomes the new pivot.
+            new_pivots = np.argmax(nonzero[sel], axis=1)
+            problems = indices[sel]
+            pivot_values = work[sel, new_pivots]
+            work[sel] = field.raw_mul(
+                field.raw_inv(pivot_values)[:, np.newaxis], work[sel]
+            )
+            # Back-substitute: clear the new pivot column from every stored
+            # row (absent rows are all-zero, so their factor is zero too).
+            stored = self.rows[problems]
+            factors = np.take_along_axis(
+                stored, new_pivots[:, np.newaxis, np.newaxis], axis=2
+            )[:, :, 0]
+            self.rows[problems] = field.raw_sub(
+                stored,
+                field.raw_mul(factors[:, :, np.newaxis], work[sel][:, np.newaxis, :]),
+            )
+            self.rows[problems, new_pivots] = work[sel]
+            self.pivot_mask[problems, new_pivots] = True
+            self.ranks[problems] += 1
+        return helpful
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    def rank_of(self, index: int) -> int:
+        """Current rank of one problem."""
+        return int(self.ranks[index])
+
+    def basis(self, index: int) -> np.ndarray:
+        """Stored RREF rows of one problem, ordered by pivot column (a copy).
+
+        This ordering matches the scalar decoder's row order, so random
+        linear combinations drawn against it coincide coefficient-for-
+        coefficient with the scalar encoder's packets.
+        """
+        pivots = np.nonzero(self.pivot_mask[index])[0]
+        return self.rows[index, pivots].copy()
+
+    def combine(self, index: int, coefficients: np.ndarray) -> np.ndarray:
+        """Linear combination of one problem's stored rows (the encode step)."""
+        pivots = np.nonzero(self.pivot_mask[index])[0]
+        if coefficients.shape != pivots.shape:
+            raise FieldError(
+                f"expected {pivots.size} coefficients for problem {index}, "
+                f"got {coefficients.shape}"
+            )
+        return self.field.raw_combine(
+            np.asarray(coefficients, dtype=self.field.dtype), self.rows[index, pivots]
+        )
 
 
 def invert_matrix(field: GaloisField, matrix: np.ndarray) -> np.ndarray:

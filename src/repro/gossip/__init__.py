@@ -1,5 +1,6 @@
-"""Gossip machinery: communication models, the engine and event traces."""
+"""Gossip machinery: communication models, the engines and event traces."""
 
+from .batch import BatchGossipEngine
 from .communication import (
     FixedPartnerSelector,
     PartnerSelector,
@@ -10,6 +11,7 @@ from .engine import GossipEngine, GossipProcess, Transmission, run_protocol
 from .trace import EventTrace, GossipEvent
 
 __all__ = [
+    "BatchGossipEngine",
     "FixedPartnerSelector",
     "PartnerSelector",
     "RoundRobinSelector",

@@ -1,0 +1,363 @@
+"""Vectorised batch-trial simulation of rank-only gossip processes.
+
+The sequential :class:`~repro.gossip.engine.GossipEngine` runs one trial at a
+time, and every received packet pays a Python-level incremental
+Gaussian-elimination loop inside the node's scalar decoder — the dominant
+cost of every Monte Carlo benchmark in this repository.
+:class:`BatchGossipEngine` runs ``T`` independent trials of a *rank-only*
+protocol (see :meth:`GossipProcess.supports_rank_only_batch
+<repro.gossip.engine.GossipProcess.supports_rank_only_batch>`) in lockstep
+and keeps all ``T x n`` decoder states in one
+:class:`~repro.rlnc.batch.BatchDecoder`, so each (round, wave) of deliveries
+is a single vectorised ``GF(q)`` sweep instead of ``T x n`` scalar loops.
+
+Bit-identical semantics
+-----------------------
+The batch engine is a *pure optimisation*: given the same per-trial random
+generators it produces exactly the same :class:`~repro.core.results.RunResult`
+objects as running :class:`GossipEngine` once per trial.  Three properties
+make this work:
+
+1. **Random streams are replicated call-for-call.**  Each trial keeps its own
+   ``numpy.random.Generator`` and the engine issues partner-selection,
+   coefficient and loss draws in precisely the order the sequential engine
+   would (the linear algebra is vectorised across trials; the randomness is
+   not).
+2. **The RREF basis is canonical.**  Scalar decoders keep their rows in
+   reduced row-echelon form ordered by pivot column; the unique RREF basis of
+   a subspace means the batch decoder's stored rows — and therefore every
+   encoded packet — coincide exactly with the scalar decoder's.
+3. **Within-round delivery order is preserved per node.**  Deliveries are
+   re-grouped into waves (one row per receiving decoder per sweep), but the
+   FIFO order of packets arriving at any single node is kept, so every
+   individual helpfulness flag matches the sequential run.
+
+Payloads are never touched: the batch path only answers "when does every node
+reach full rank", which is the only question the stopping-time experiments
+ask.  Protocols that need payload recovery or carry non-rank state must keep
+using the sequential engine.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from ..core.config import GossipAction, SimulationConfig, TimeModel
+from ..core.results import RunResult
+from ..errors import SimulationError
+from ..rlnc.batch import BatchDecoder
+from .engine import GossipProcess
+
+__all__ = ["BatchGossipEngine"]
+
+
+class BatchGossipEngine:
+    """Run ``T`` trials of a rank-only gossip process as one vectorised system.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph shared by all trials.
+    processes:
+        One protocol instance per trial, each already constructed with that
+        trial's generator (so any setup-time draws — e.g. random payloads —
+        have been consumed exactly as in the sequential path).  Every process
+        must report :meth:`~repro.gossip.engine.GossipProcess.supports_rank_only_batch`.
+    config:
+        The shared simulation configuration.
+    rngs:
+        The per-trial generators, aligned with ``processes``.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        processes: list[GossipProcess],
+        config: SimulationConfig,
+        rngs: list[np.random.Generator],
+    ) -> None:
+        if graph.number_of_nodes() < 2:
+            raise SimulationError("gossip requires at least two nodes")
+        if not nx.is_connected(graph):
+            raise SimulationError("gossip requires a connected graph")
+        if not processes:
+            raise SimulationError("BatchGossipEngine needs at least one trial")
+        if len(processes) != len(rngs):
+            raise SimulationError(
+                f"{len(processes)} processes but {len(rngs)} generators"
+            )
+        for process in processes:
+            if not self.is_batchable(process):
+                raise SimulationError(
+                    f"{type(process).__name__} does not support the rank-only "
+                    "batch fast path; use GossipEngine per trial instead"
+                )
+        self.graph = graph
+        self.processes = processes
+        self.config = config
+        self.rngs = rngs
+        self.trials = len(processes)
+        self._nodes = sorted(graph.nodes())
+        self._n = len(self._nodes)
+        self._pos = {node: pos for pos, node in enumerate(self._nodes)}
+        first = processes[0]
+        self.field = first.generation.field
+        self.k = first.generation.k
+        for process in processes:
+            if process.generation.k != self.k or process.generation.field != self.field:
+                raise SimulationError("all batched trials must share k and the field")
+            if process.action is not first.action:
+                raise SimulationError("all batched trials must share the gossip action")
+        self.action = first.action
+        self._decoder = BatchDecoder(self.field, self.k, self.trials * self._n)
+        self._seed_from_processes()
+        # Per-trial counters, mirroring GossipEngine's scalars.
+        self._messages_sent = np.zeros(self.trials, dtype=np.int64)
+        self._helpful_messages = np.zeros(self.trials, dtype=np.int64)
+        self._dropped_messages = np.zeros(self.trials, dtype=np.int64)
+        self._timeslots = np.zeros(self.trials, dtype=np.int64)
+        self._completion_rounds: list[dict[int, int]] = [{} for _ in range(self.trials)]
+        self._noted = np.zeros((self.trials, self._n), dtype=bool)
+        self._loss_probability = config.loss_probability
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @staticmethod
+    def is_batchable(process: GossipProcess) -> bool:
+        """Does ``process`` opt in to the rank-only batch fast path?"""
+        return bool(process.supports_rank_only_batch())
+
+    def run(self) -> list[RunResult]:
+        """Run every trial to completion (or the round limit); results in trial order."""
+        if self.config.time_model is TimeModel.SYNCHRONOUS:
+            rounds, completed = self._run_synchronous()
+        else:
+            rounds, completed = self._run_asynchronous()
+        results: list[RunResult] = []
+        for t in range(self.trials):
+            if not completed[t] and not self.config.allow_incomplete:
+                raise SimulationError(
+                    f"protocol did not complete within {self.config.max_rounds} rounds"
+                )
+            metadata = dict(self.processes[t].metadata())
+            metadata["min_rank"] = int(self._trial_ranks(t).min())
+            if self._loss_probability > 0:
+                metadata.setdefault("dropped_messages", int(self._dropped_messages[t]))
+            results.append(
+                RunResult(
+                    rounds=int(rounds[t]),
+                    timeslots=int(self._timeslots[t]),
+                    completed=bool(completed[t]),
+                    n=self._n,
+                    k=int(metadata.pop("k", 0)),
+                    completion_rounds=dict(self._completion_rounds[t]),
+                    messages_sent=int(self._messages_sent[t]),
+                    helpful_messages=int(self._helpful_messages[t]),
+                    metadata=metadata,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Time models
+    # ------------------------------------------------------------------
+    def _run_synchronous(self) -> tuple[np.ndarray, np.ndarray]:
+        rounds = np.zeros(self.trials, dtype=np.int64)
+        completed = np.zeros(self.trials, dtype=bool)
+        for t in range(self.trials):
+            self._note_completions(t, 0)
+        active = [t for t in range(self.trials) if not self._trial_complete(t)]
+        completed[[t for t in range(self.trials) if t not in active]] = True
+        round_index = 0
+        while active and round_index < self.config.max_rounds:
+            round_index += 1
+            pending = self._collect_wakeups(active)
+            self._timeslots[active] += self._n
+            self._deliver_in_waves(pending)
+            still_active = []
+            for t in active:
+                self._note_completions(t, round_index)
+                if self._trial_complete(t):
+                    rounds[t] = round_index
+                    completed[t] = True
+                else:
+                    still_active.append(t)
+            active = still_active
+        # Trials that never finished stopped at the round limit, exactly as
+        # the sequential engine reports.
+        for t in active:
+            rounds[t] = self.config.max_rounds
+        return rounds, completed
+
+    def _run_asynchronous(self) -> tuple[np.ndarray, np.ndarray]:
+        rounds = np.zeros(self.trials, dtype=np.int64)
+        completed = np.zeros(self.trials, dtype=bool)
+        for t in range(self.trials):
+            self._note_completions(t, 0)
+        active = [t for t in range(self.trials) if not self._trial_complete(t)]
+        completed[[t for t in range(self.trials) if t not in active]] = True
+        max_timeslots = self.config.max_rounds * self._n
+        while active:
+            survivors = []
+            for t in active:
+                if self._timeslots[t] >= max_timeslots:
+                    rounds[t] = -(-int(self._timeslots[t]) // self._n)
+                else:
+                    survivors.append(t)
+            active = survivors
+            if not active:
+                break
+            waves: tuple[list, list] = ([], [])
+            for t in active:
+                rng = self.rngs[t]
+                node = self._nodes[int(rng.integers(0, self._n))]
+                self._timeslots[t] += 1
+                transmissions = self._wakeup(t, node)
+                wave_slot = 0
+                for receiver_problem, row in transmissions:
+                    self._messages_sent[t] += 1
+                    if (
+                        self._loss_probability > 0
+                        and rng.random() < self._loss_probability
+                    ):
+                        self._dropped_messages[t] += 1
+                        continue
+                    waves[wave_slot].append((receiver_problem, row, t))
+                    wave_slot += 1
+            for wave in waves:
+                self._apply_wave(wave)
+            still_active = []
+            for t in active:
+                round_now = -(-int(self._timeslots[t]) // self._n)
+                self._note_completions(t, round_now)
+                if self._trial_complete(t):
+                    rounds[t] = round_now
+                    completed[t] = True
+                else:
+                    still_active.append(t)
+            active = still_active
+        return rounds, completed
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _seed_from_processes(self) -> None:
+        """Absorb every trial decoder's initial rows into the batch state.
+
+        Rows are grouped into depth waves — the ``d``-th stored row of every
+        problem in one vectorised sweep — mirroring how deliveries are waved
+        during the run, so even an all-to-all start costs ``max_rows`` sweeps
+        rather than one eliminate call per node per trial.
+        """
+        initial_rows: dict[int, np.ndarray] = {}
+        max_depth = 0
+        for t, process in enumerate(self.processes):
+            base = t * self._n
+            for node, decoder in process.decoders.items():
+                matrix = decoder.coefficient_matrix()
+                if matrix.shape[0]:
+                    initial_rows[base + self._pos[node]] = matrix
+                    max_depth = max(max_depth, matrix.shape[0])
+        for depth in range(max_depth):
+            indices = [
+                problem for problem, matrix in initial_rows.items()
+                if matrix.shape[0] > depth
+            ]
+            rows = np.stack([initial_rows[problem][depth] for problem in indices])
+            self._decoder.receive(rows, np.asarray(indices, dtype=np.int64))
+
+    def _trial_ranks(self, t: int) -> np.ndarray:
+        return self._decoder.ranks[t * self._n : (t + 1) * self._n]
+
+    def _trial_complete(self, t: int) -> bool:
+        return bool(np.all(self._trial_ranks(t) == self.k))
+
+    def _note_completions(self, t: int, round_index: int) -> None:
+        newly = (self._trial_ranks(t) == self.k) & ~self._noted[t]
+        if newly.any():
+            for pos in np.nonzero(newly)[0]:
+                self._completion_rounds[t][self._nodes[pos]] = round_index
+            self._noted[t][newly] = True
+
+    def _wakeup(self, t: int, node: int) -> list[tuple[int, np.ndarray]]:
+        """Replicate ``AlgebraicGossip.on_wakeup`` against the batch state.
+
+        Returns ``(receiver_problem, coefficient_row)`` pairs; the random
+        draws (partner, then sender coefficients in PUSH-then-PULL order)
+        match the scalar protocol call-for-call.
+        """
+        rng = self.rngs[t]
+        process = self.processes[t]
+        partner = process.selector.partner(node, rng)
+        if partner is None:
+            return []
+        base = t * self._n
+        pos, ppos = self._pos[node], self._pos[partner]
+        transmissions: list[tuple[int, np.ndarray]] = []
+        if self.action in (GossipAction.PUSH, GossipAction.EXCHANGE):
+            row = self._encode(base + pos, rng)
+            if row is not None:
+                transmissions.append((base + ppos, row))
+        if self.action in (GossipAction.PULL, GossipAction.EXCHANGE):
+            row = self._encode(base + ppos, rng)
+            if row is not None:
+                transmissions.append((base + pos, row))
+        return transmissions
+
+    def _encode(self, problem: int, rng: np.random.Generator) -> np.ndarray | None:
+        """One freshly coded coefficient vector, or ``None`` at rank zero."""
+        rank = int(self._decoder.ranks[problem])
+        if rank == 0:
+            return None
+        coefficients = self.field.random_elements(rng, rank)
+        return self._decoder.encode(problem, coefficients)
+
+    def _collect_wakeups(
+        self, active: list[int]
+    ) -> list[tuple[int, list[tuple[int, np.ndarray]]]]:
+        """Synchronous wakeup phase: all draws, no state mutation."""
+        pending: list[tuple[int, list[tuple[int, np.ndarray]]]] = []
+        for t in active:
+            trial_pending: list[tuple[int, np.ndarray]] = []
+            for node in self._nodes:
+                trial_pending.extend(self._wakeup(t, node))
+            pending.append((t, trial_pending))
+        return pending
+
+    def _deliver_in_waves(self, pending) -> None:
+        """End-of-round delivery: loss draws in pending order, then waves."""
+        queues: dict[int, list[tuple[np.ndarray, int]]] = {}
+        for t, trial_pending in pending:
+            rng = self.rngs[t]
+            for receiver_problem, row in trial_pending:
+                self._messages_sent[t] += 1
+                if (
+                    self._loss_probability > 0
+                    and rng.random() < self._loss_probability
+                ):
+                    self._dropped_messages[t] += 1
+                    continue
+                queues.setdefault(receiver_problem, []).append((row, t))
+        depth = 0
+        while True:
+            wave = [
+                (problem, entries[depth][0], entries[depth][1])
+                for problem, entries in queues.items()
+                if len(entries) > depth
+            ]
+            if not wave:
+                break
+            self._apply_wave(wave)
+            depth += 1
+
+    def _apply_wave(self, wave: list[tuple[int, np.ndarray, int]]) -> None:
+        """One vectorised sweep: at most one row per receiving decoder."""
+        if not wave:
+            return
+        indices = np.fromiter((entry[0] for entry in wave), dtype=np.int64, count=len(wave))
+        rows = np.stack([entry[1] for entry in wave])
+        trials = np.fromiter((entry[2] for entry in wave), dtype=np.int64, count=len(wave))
+        helpful = self._decoder.receive(rows, indices)
+        np.add.at(self._helpful_messages, trials[helpful], 1)

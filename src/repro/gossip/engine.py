@@ -97,6 +97,19 @@ class GossipProcess(ABC):
         without slowing down runs that do not need it.
         """
 
+    def supports_rank_only_batch(self) -> bool:
+        """Opt in to the vectorised rank-only batch fast path.
+
+        :class:`~repro.gossip.batch.BatchGossipEngine` runs many trials of a
+        protocol at once but tracks only decoder *ranks* (no payloads), so it
+        is selected automatically — by the batched trial runners in
+        :mod:`repro.experiments.parallel` — only for processes that return
+        ``True`` here.  A protocol may do so only when its entire observable
+        behaviour (transmissions, helpfulness, completion) is a function of
+        coefficient ranks and the random stream; the default is ``False``.
+        """
+        return False
+
 
 class GossipEngine:
     """Drives a :class:`GossipProcess` under a time model until completion."""

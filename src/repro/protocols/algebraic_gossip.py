@@ -135,6 +135,17 @@ class AlgebraicGossip(GossipProcess):
     def is_complete(self) -> bool:
         return all(decoder.is_complete for decoder in self.decoders.values())
 
+    def supports_rank_only_batch(self) -> bool:
+        """Uniform algebraic gossip is rank-only batchable.
+
+        Everything the engine observes — who talks to whom, how many
+        coefficients are drawn, whether a packet is helpful, when a node
+        completes — depends only on decoder ranks and the random stream, so
+        the stopping time is independent of the payloads.  Subclasses and
+        non-uniform selectors (which may carry extra state) are excluded.
+        """
+        return type(self) is AlgebraicGossip and type(self.selector) is UniformSelector
+
     def finished_nodes(self) -> set[int]:
         return {node for node, decoder in self.decoders.items() if decoder.is_complete}
 

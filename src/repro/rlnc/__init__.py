@@ -9,6 +9,7 @@ stores, and :mod:`~repro.rlnc.helpful` implements Definition 3 (helpful nodes
 and messages).
 """
 
+from .batch import BatchDecoder
 from .decoder import RlncDecoder
 from .encoder import RlncEncoder, encode_from_decoder
 from .helpful import (
@@ -20,6 +21,7 @@ from .message import Generation, SourceMessage
 from .packet import CodedPacket
 
 __all__ = [
+    "BatchDecoder",
     "RlncDecoder",
     "RlncEncoder",
     "encode_from_decoder",

@@ -1,0 +1,179 @@
+"""Determinism and equivalence tests for the batched / parallel trial runners.
+
+The contract under test: for the same root seed, every runner —
+sequential, batched, multi-process — produces the *same* results
+trial-for-trial, because trial ``i`` always draws from
+``derive_rng(seed, f"trial-{i}")`` and the batch engine replicates the
+sequential engine's random stream call-for-call.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stopping_time import measure_protocol, run_trials
+from repro.core import TimeModel
+from repro.errors import AnalysisError, SimulationError
+from repro.experiments import (
+    default_config,
+    measure_protocol_batched,
+    measure_protocol_parallel,
+    run_trials_batched,
+    run_trials_parallel,
+    tag_case,
+    uniform_ag_case,
+)
+from repro.experiments.parallel import _chunks
+from repro.gossip.batch import BatchGossipEngine
+
+
+def _signature(results):
+    return [
+        (r.rounds, r.timeslots, r.completed, r.messages_sent, r.helpful_messages,
+         dict(r.completion_rounds), dict(r.metadata))
+        for r in results
+    ]
+
+
+@pytest.fixture(scope="module")
+def uniform_case():
+    return uniform_ag_case("grid", 9, 5)
+
+
+class TestBatchedEqualsSequential:
+    @pytest.mark.parametrize("time_model", list(TimeModel), ids=lambda m: m.value)
+    def test_bit_identical_results(self, time_model):
+        case = uniform_ag_case("ring", 8, 4, config=default_config(time_model=time_model))
+        sequential = measure_protocol(
+            case.graph, case.protocol_factory, case.config, trials=4, seed=99
+        )
+        batched = measure_protocol_batched(
+            case.graph, case.protocol_factory, case.config, trials=4, seed=99
+        )
+        assert _signature(batched) == _signature(sequential)
+
+    def test_bit_identical_under_packet_loss(self, uniform_case):
+        config = uniform_case.config.replace(loss_probability=0.25)
+        sequential = measure_protocol(
+            uniform_case.graph, uniform_case.protocol_factory, config, trials=3, seed=5
+        )
+        batched = measure_protocol_batched(
+            uniform_case.graph, uniform_case.protocol_factory, config, trials=3, seed=5
+        )
+        assert _signature(batched) == _signature(sequential)
+
+    def test_stats_equal_run_trials(self, uniform_case):
+        sequential = run_trials(
+            uniform_case.graph, uniform_case.protocol_factory, uniform_case.config,
+            trials=4, seed=21,
+        )
+        batched = run_trials_batched(
+            uniform_case.graph, uniform_case.protocol_factory, uniform_case.config,
+            trials=4, seed=21,
+        )
+        assert batched.samples == sequential.samples
+
+    def test_non_batchable_protocol_falls_back(self):
+        case = tag_case("barbell", 10, 10)
+        sequential = measure_protocol(
+            case.graph, case.protocol_factory, case.config, trials=2, seed=13
+        )
+        batched = measure_protocol_batched(
+            case.graph, case.protocol_factory, case.config, trials=2, seed=13
+        )
+        assert _signature(batched) == _signature(sequential)
+
+    def test_tag_is_not_batchable(self):
+        case = tag_case("barbell", 10, 10)
+        import numpy as np
+
+        process = case.protocol_factory(case.graph, np.random.default_rng(0))
+        assert not BatchGossipEngine.is_batchable(process)
+        with pytest.raises(SimulationError):
+            BatchGossipEngine(
+                case.graph, [process], case.config, [np.random.default_rng(0)]
+            )
+
+
+class TestParallelEqualsSequential:
+    def test_trial_for_trial_determinism(self, uniform_case):
+        sequential = measure_protocol(
+            uniform_case.graph, uniform_case.protocol_factory, uniform_case.config,
+            trials=5, seed=77,
+        )
+        parallel = measure_protocol_parallel(
+            uniform_case.graph, uniform_case.protocol_factory, uniform_case.config,
+            trials=5, seed=77, jobs=3,
+        )
+        assert _signature(parallel) == _signature(sequential)
+
+    def test_run_trials_parallel_stats(self, uniform_case):
+        sequential = run_trials(
+            uniform_case.graph, uniform_case.protocol_factory, uniform_case.config,
+            trials=4, seed=31,
+        )
+        parallel = run_trials_parallel(
+            uniform_case.graph, uniform_case.protocol_factory, uniform_case.config,
+            trials=4, seed=31, jobs=2,
+        )
+        assert parallel.samples == sequential.samples
+
+    def test_unpicklable_factory_falls_back_in_process(self, uniform_case):
+        delegate = uniform_case.protocol_factory
+        parallel = measure_protocol_parallel(
+            uniform_case.graph,
+            lambda graph, rng: delegate(graph, rng),  # lambdas cannot be pickled
+            uniform_case.config,
+            trials=3, seed=8, jobs=2,
+        )
+        sequential = measure_protocol(
+            uniform_case.graph, uniform_case.protocol_factory, uniform_case.config,
+            trials=3, seed=8,
+        )
+        assert _signature(parallel) == _signature(sequential)
+
+    def test_no_batch_with_jobs_still_matches(self, uniform_case):
+        # --no-batch combined with worker processes must honour both: the
+        # workers run the sequential scalar path, and the results still
+        # equal the reference runner's.
+        sequential = measure_protocol(
+            uniform_case.graph, uniform_case.protocol_factory, uniform_case.config,
+            trials=4, seed=19,
+        )
+        parallel = measure_protocol_parallel(
+            uniform_case.graph, uniform_case.protocol_factory, uniform_case.config,
+            trials=4, seed=19, jobs=2, batch=False,
+        )
+        assert _signature(parallel) == _signature(sequential)
+
+    def test_chunking_is_balanced_and_ordered(self):
+        assert _chunks(range(7), 3) == [[0, 1, 2], [3, 4], [5, 6]]
+        assert _chunks(range(2), 5) == [[0], [1]]
+
+    def test_invalid_arguments_rejected(self, uniform_case):
+        with pytest.raises(AnalysisError):
+            measure_protocol_parallel(
+                uniform_case.graph, uniform_case.protocol_factory,
+                uniform_case.config, trials=0, seed=0,
+            )
+        with pytest.raises(AnalysisError):
+            measure_protocol_parallel(
+                uniform_case.graph, uniform_case.protocol_factory,
+                uniform_case.config, trials=2, seed=0, jobs=0,
+            )
+
+    def test_run_sweep_rejects_non_positive_jobs(self, uniform_case):
+        from repro.analysis import run_sweep
+
+        with pytest.raises(AnalysisError):
+            run_sweep([uniform_case], trials=2, jobs=0)
+
+
+class TestSweepWiring:
+    def test_run_sweep_batched_matches_sequential(self):
+        from repro.analysis import run_sweep
+
+        cases = [uniform_ag_case("ring", 8, 4), uniform_ag_case("grid", 9, 4)]
+        fast = run_sweep(cases, trials=3, seed=2, batch=True)
+        slow = run_sweep(cases, trials=3, seed=2, batch=False)
+        assert [p.stats.samples for p in fast] == [p.stats.samples for p in slow]

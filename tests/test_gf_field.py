@@ -83,6 +83,16 @@ class TestBasicArithmetic:
         with pytest.raises(FieldError):
             gf16.validate(np.array([0.5, 1.0]))
 
+    def test_boolean_arrays_rejected_explicitly(self, gf16):
+        # Regression: dtype kind 'b' must hit the dedicated boolean branch,
+        # not be silently promoted to 0/1 nor fall through the integer check.
+        with pytest.raises(FieldError, match="boolean"):
+            gf16.validate(np.array([True, False]))
+        with pytest.raises(FieldError, match="boolean"):
+            gf16.validate(True)
+        with pytest.raises(FieldError, match="boolean"):
+            gf16.add(np.array([1, 2]) != 0, 3)
+
     def test_float_integers_accepted(self, gf16):
         validated = gf16.validate(np.array([1.0, 5.0]))
         assert list(validated) == [1, 5]
@@ -152,3 +162,34 @@ class TestExtensionFieldConstruction:
     def test_extension_field_rejects_prime(self):
         with pytest.raises(FieldError):
             ExtensionField(7)
+
+
+class TestRawOperations:
+    """The unchecked ``raw_*`` fast path must agree with the checked ops."""
+
+    def test_raw_ops_match_checked_ops(self, any_field):
+        rng = np.random.default_rng(11)
+        a = any_field.random_elements(rng, 64)
+        b = any_field.random_elements(rng, 64)
+        assert np.array_equal(any_field.raw_add(a, b), any_field.add(a, b))
+        assert np.array_equal(any_field.raw_sub(a, b), any_field.sub(a, b))
+        assert np.array_equal(any_field.raw_mul(a, b), any_field.mul(a, b))
+        nonzero = any_field.random_elements(rng, 64, nonzero=True)
+        assert np.array_equal(any_field.raw_inv(nonzero), any_field.inv(nonzero))
+
+    def test_raw_combine_matches_dot(self, any_field):
+        rng = np.random.default_rng(13)
+        coefficients = any_field.random_elements(rng, 5)
+        rows = any_field.random_elements(rng, (5, 7))
+        assert np.array_equal(
+            any_field.raw_combine(coefficients, rows),
+            any_field.dot(coefficients, rows),
+        )
+
+    def test_raw_ops_broadcast(self, gf16):
+        rng = np.random.default_rng(7)
+        factor = gf16.random_elements(rng, 4)
+        rows = gf16.random_elements(rng, (4, 6))
+        broadcast = gf16.raw_mul(factor[:, np.newaxis], rows)
+        for i in range(4):
+            assert np.array_equal(broadcast[i], gf16.mul(factor[i], rows[i]))
