@@ -5,19 +5,36 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke docs-check
+.PHONY: test test-slow bench-smoke bench-json docs-check
 
-## Tier-1 test suite (unit + property + integration).
+## Tier-1 test suite (unit + property + integration).  Tests marked `slow`
+## (the large batch-vs-scalar equivalence sweeps) are skipped here.
 test:
 	$(PYTHON) -m pytest -x -q
 
-## Scaled-down benchmark pass: proves the harness and the batch fast path
-## work without paying full benchmark sizes.  The full reproduction is
+## Everything, including the slow-marked equivalence sweeps.
+test-slow:
+	$(PYTHON) -m pytest -x -q --run-slow
+
+## Scaled-down benchmark pass: proves the harness and both batch fast paths
+## (uniform AG and TAG) work without paying full benchmark sizes.  The
+## speedup floors are lowered to match the smoke sizes; the full-size floors
+## are asserted by `make bench-json`.  The full reproduction is
 ## `pytest benchmarks/<script> --benchmark-only` per script.
 bench-smoke:
-	REPRO_BENCH_BATCH_N=32 REPRO_BENCH_BATCH_TRIALS=8 \
+	REPRO_BENCH_BATCH_N=32 REPRO_BENCH_BATCH_TRIALS=8 REPRO_BENCH_BATCH_MIN_SPEEDUP=2 \
 		$(PYTHON) -m pytest benchmarks/bench_batch_core.py --benchmark-only -q
+	REPRO_BENCH_TAG_N=32 REPRO_BENCH_TAG_TRIALS=8 REPRO_BENCH_TAG_MIN_SPEEDUP=2 \
+		$(PYTHON) -m pytest benchmarks/bench_batch_tag.py --benchmark-only -q
 	$(PYTHON) -m repro experiment E1-uniform-ag --trials 2
+
+## Full-size perf benchmarks with machine-readable results: asserts the >=5x
+## speedup floors at n=128 and writes benchmarks/output/BENCH_*.json
+## (timings, speedup, workload, git rev) for cross-revision tracking.
+bench-json:
+	$(PYTHON) -m pytest benchmarks/bench_batch_core.py benchmarks/bench_batch_tag.py \
+		--benchmark-only -q
+	@ls -l benchmarks/output/BENCH_*.json
 
 ## Documentation drift check: executes every fenced Python block in
 ## README.md and the quickstart example they mirror.

@@ -10,8 +10,11 @@ numbers from a file that any reader can regenerate with
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
 import sys
+import time
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
@@ -52,3 +55,73 @@ def report(experiment_id: str, title: str, rows: Sequence[Mapping[str, Any]],
     path = OUTPUT_DIR / f"{experiment_id}.txt"
     path.write_text(text + "\n", encoding="utf-8")
     return text
+
+
+def trial_signature(results) -> list[tuple]:
+    """Everything that must coincide per trial across bit-identical runners.
+
+    The canonical equivalence signature used by the batch-vs-scalar
+    benchmarks (``bench_batch_core``, ``bench_batch_tag``): any divergence in
+    stopping time, timeslots, completion, message/helpful counts, per-node
+    completion rounds or metadata fails the assertion.
+    """
+    return [
+        (r.rounds, r.timeslots, r.completed, r.messages_sent, r.helpful_messages,
+         dict(r.completion_rounds), dict(r.metadata))
+        for r in results
+    ]
+
+
+def _git_revision() -> str | None:
+    """The current git revision, or ``None`` outside a checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+    except Exception:
+        return None
+
+
+def report_json(
+    experiment_id: str,
+    *,
+    timings: Mapping[str, float],
+    speedup: float,
+    n: int,
+    trials: int,
+    scaled_down: bool = False,
+    **extra: Any,
+) -> Path | None:
+    """Persist machine-readable perf results as ``BENCH_<experiment_id>.json``.
+
+    Every perf benchmark (``bench_batch_core``, ``bench_batch_tag``) writes
+    one of these next to its human-readable table, so the speedup trajectory
+    can be tracked across revisions by diffing small JSON files instead of
+    scraping text reports.  The payload records the workload size, wall-clock
+    timings per runner, the headline speedup, the git revision the numbers
+    were produced at, and any benchmark-specific extras.
+
+    ``scaled_down=True`` (a smoke run: the effective workload/floor values
+    deviate from the full-size defaults) skips the write and returns ``None``
+    — the tracked records must only ever hold full-size numbers, not whatever
+    the last ``make bench-smoke`` happened to use.
+    """
+    if scaled_down:
+        print(f"[{experiment_id}] scaled-down run; BENCH json not written")
+        return None
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"BENCH_{experiment_id}.json"
+    payload: dict[str, Any] = {
+        "experiment": experiment_id,
+        "git_rev": _git_revision(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "n": int(n),
+        "trials": int(trials),
+        "timings_seconds": {name: round(float(secs), 4) for name, secs in timings.items()},
+        "speedup": round(float(speedup), 3),
+    }
+    payload.update(extra)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

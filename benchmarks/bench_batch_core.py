@@ -16,8 +16,9 @@ batched and parallel runners must be **bit-identical** to the sequential one
 (same seeds → same stopping times, message counts and completion rounds) and
 the batched runner must be at least 5x faster at ``n = 128``.
 
-Scale knobs (for smoke runs): ``REPRO_BENCH_BATCH_N`` and
-``REPRO_BENCH_BATCH_TRIALS`` shrink the workload without changing the checks.
+Scale knobs (for smoke runs): ``REPRO_BENCH_BATCH_N``,
+``REPRO_BENCH_BATCH_TRIALS`` and ``REPRO_BENCH_BATCH_MIN_SPEEDUP`` shrink
+the workload / floor without changing the equivalence checks.
 """
 
 from __future__ import annotations
@@ -25,7 +26,7 @@ from __future__ import annotations
 import os
 import time
 
-from _utils import PEDANTIC, report
+from _utils import PEDANTIC, report, report_json, trial_signature
 from repro.analysis.stopping_time import measure_protocol
 from repro.experiments import default_config, uniform_ag_case
 from repro.experiments.parallel import (
@@ -38,16 +39,8 @@ N = int(os.environ.get("REPRO_BENCH_BATCH_N", "128"))
 K = 16
 TRIALS = int(os.environ.get("REPRO_BENCH_BATCH_TRIALS", "64"))
 SEED = 909
-MIN_SPEEDUP = 5.0
-
-
-def _signature(results):
-    """Everything that must coincide across runners, per trial."""
-    return [
-        (r.rounds, r.timeslots, r.messages_sent, r.helpful_messages,
-         dict(r.completion_rounds))
-        for r in results
-    ]
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_BATCH_MIN_SPEEDUP", "5.0"))
+SCALED_DOWN = (N, TRIALS, MIN_SPEEDUP) != (128, 64, 5.0)
 
 
 def _run():
@@ -74,10 +67,10 @@ def _run():
     )
     timings[f"parallel (batched, jobs={jobs})"] = time.perf_counter() - start
 
-    assert _signature(batched) == _signature(sequential), (
+    assert trial_signature(batched) == trial_signature(sequential), (
         "batched runner diverged from the sequential runner"
     )
-    assert _signature(parallel) == _signature(sequential), (
+    assert trial_signature(parallel) == trial_signature(sequential), (
         "parallel runner diverged from the sequential runner"
     )
 
@@ -111,4 +104,17 @@ def test_batch_core_speedup(benchmark):
         ],
     )
     batched_row = next(row for row in rows if row["runner"].startswith("batched"))
+    report_json(
+        "E9-batch-core",
+        timings={row["runner"]: row["seconds"] for row in rows},
+        speedup=batched_row["speedup"],
+        n=N,
+        trials=TRIALS,
+        scaled_down=SCALED_DOWN,
+        k=K,
+        seed=SEED,
+        min_speedup=MIN_SPEEDUP,
+        protocol="uniform-ag",
+        topology="complete",
+    )
     assert batched_row["speedup"] >= MIN_SPEEDUP

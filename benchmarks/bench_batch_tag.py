@@ -1,0 +1,111 @@
+"""E10 — the TAG batch fast path: lockstep two-phase trials vs scalar engine.
+
+Runs the paper's headline protocol — TAG with the round-robin broadcast tree
+``B_RR`` of Theorem 5, ``k`` messages on a complete graph of ``n`` nodes,
+synchronous EXCHANGE — through both trial runners:
+
+* sequential: one :class:`~repro.gossip.engine.GossipEngine` per trial with
+  the scalar :class:`~repro.protocols.tag.TagProtocol` (per-packet Python
+  Gaussian elimination, per-delivery ``O(n)`` tree-completeness scans),
+* batched: all trials in one :class:`~repro.gossip.batch_tag.BatchTagEngine`
+  (phase-1 tree state as trials x nodes arrays, phase-2 parent EXCHANGEs
+  through the vectorised :class:`~repro.rlnc.batch.BatchDecoder` grid).
+
+The assertions are the contract of the fast path: the batched runner must be
+**bit-identical** to the sequential one (same seeds → same per-trial stopping
+times, message counts, completion rounds and tree shapes) and at least
+``MIN_SPEEDUP``x faster at ``n = 128``.
+
+Scale knobs (for smoke runs): ``REPRO_BENCH_TAG_N``,
+``REPRO_BENCH_TAG_TRIALS`` and ``REPRO_BENCH_TAG_MIN_SPEEDUP`` shrink the
+workload / floor without changing the equivalence checks.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from _utils import PEDANTIC, report, report_json, trial_signature
+from repro.analysis.stopping_time import measure_protocol
+from repro.experiments import default_config, tag_case
+from repro.experiments.parallel import measure_protocol_batched
+
+N = int(os.environ.get("REPRO_BENCH_TAG_N", "128"))
+K = 16
+TRIALS = int(os.environ.get("REPRO_BENCH_TAG_TRIALS", "16"))
+SEED = 1107
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_TAG_MIN_SPEEDUP", "5.0"))
+TOPOLOGY = "complete"
+SPANNING_TREE = "brr"
+SCALED_DOWN = (N, TRIALS, MIN_SPEEDUP) != (128, 16, 5.0)
+
+
+def _run():
+    case = tag_case(
+        TOPOLOGY, N, K, spanning_tree=SPANNING_TREE,
+        config=default_config(max_rounds=50_000),
+    )
+    timings = {}
+
+    start = time.perf_counter()
+    sequential = measure_protocol(
+        case.graph, case.protocol_factory, case.config, trials=TRIALS, seed=SEED
+    )
+    timings["sequential (scalar TagProtocol)"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = measure_protocol_batched(
+        case.graph, case.protocol_factory, case.config, trials=TRIALS, seed=SEED
+    )
+    timings["batched (BatchTagEngine)"] = time.perf_counter() - start
+
+    assert trial_signature(batched) == trial_signature(sequential), (
+        "batched TAG runner diverged from the sequential runner"
+    )
+
+    base = timings["sequential (scalar TagProtocol)"]
+    rounds = [r.rounds for r in sequential]
+    rows = [
+        {
+            "runner": runner,
+            "seconds": round(seconds, 2),
+            "speedup": round(base / seconds, 2),
+            "mean_rounds": round(sum(rounds) / len(rounds), 2),
+        }
+        for runner, seconds in timings.items()
+    ]
+    return rows
+
+
+def test_batch_tag_speedup(benchmark):
+    rows = benchmark.pedantic(_run, **PEDANTIC)
+    report(
+        "E10-batch-tag",
+        f"TAG batch fast path — TAG+B_RR on {TOPOLOGY}(n={N}), k={K}, "
+        f"{TRIALS} trials, synchronous EXCHANGE",
+        rows,
+        notes=[
+            "Both runners are bit-identical (asserted): same seeds give the "
+            "same per-trial stopping times, message counts, completion "
+            "rounds and tree metadata.",
+            f"The batched runner must be at least {MIN_SPEEDUP:.1f}x faster "
+            "than the sequential scalar path.",
+        ],
+    )
+    batched_row = next(row for row in rows if row["runner"].startswith("batched"))
+    report_json(
+        "E10-batch-tag",
+        timings={row["runner"]: row["seconds"] for row in rows},
+        speedup=batched_row["speedup"],
+        n=N,
+        trials=TRIALS,
+        scaled_down=SCALED_DOWN,
+        k=K,
+        seed=SEED,
+        min_speedup=MIN_SPEEDUP,
+        protocol="tag",
+        spanning_tree=SPANNING_TREE,
+        topology=TOPOLOGY,
+    )
+    assert batched_row["speedup"] >= MIN_SPEEDUP

@@ -20,7 +20,7 @@ from _utils import BENCH_JOBS, PEDANTIC, report
 from repro.analysis import fit_linear, run_sweep, scaling_table
 from repro.core import SimulationConfig, TimeModel
 from repro.experiments import default_config, tag_case
-from repro.gossip import GossipEngine
+from repro.gossip import run_spanning_tree_batch
 from repro.graphs import barbell_graph, clique_chain_graph, weak_conductance
 from repro.protocols import ISSpanningTree
 
@@ -36,11 +36,9 @@ def _is_tree_rounds():
         ("clique_chain(c=3)", clique_chain_graph(N, cliques=3)),
     ]:
         config = SimulationConfig(max_rounds=10_000)
-        rounds = []
-        for seed in range(TRIALS):
-            rng = np.random.default_rng(seed)
-            protocol = ISSpanningTree(graph, rng)
-            rounds.append(GossipEngine(graph, protocol, config, rng).run().rounds)
+        rngs = [np.random.default_rng(seed) for seed in range(TRIALS)]
+        protocols = [ISSpanningTree(graph, rng) for rng in rngs]
+        rounds = [r.rounds for r in run_spanning_tree_batch(graph, protocols, config, rngs)]
         rows.append(
             {
                 "graph": name,

@@ -15,7 +15,7 @@ import pytest
 from _utils import PEDANTIC, report
 from repro.analysis import brr_broadcast_upper_bound
 from repro.core import SimulationConfig, TimeModel
-from repro.gossip import GossipEngine
+from repro.gossip import run_spanning_tree_batch
 from repro.graphs import (
     barbell_graph,
     build_topology,
@@ -34,13 +34,13 @@ def _broadcast_rows(time_model: TimeModel):
         graph = build_topology(topology, N)
         n = graph.number_of_nodes()
         config = SimulationConfig(time_model=time_model, max_rounds=100 * n)
-        rounds, depths = [], []
-        for seed in range(TRIALS):
-            rng = np.random.default_rng(seed)
-            protocol = RoundRobinBroadcastTree(graph, root=0, rng=rng)
-            result = GossipEngine(graph, protocol, config, rng).run()
-            rounds.append(result.rounds)
-            depths.append(protocol.current_tree().depth)
+        # All trials in one lockstep batch engine — bit-identical to running
+        # GossipEngine per trial with the same generators, just faster.
+        rngs = [np.random.default_rng(seed) for seed in range(TRIALS)]
+        protocols = [RoundRobinBroadcastTree(graph, root=0, rng=rng) for rng in rngs]
+        results = run_spanning_tree_batch(graph, protocols, config, rngs)
+        rounds = [result.rounds for result in results]
+        depths = [protocol.current_tree().depth for protocol in protocols]
         rows.append(
             {
                 "graph": topology,
@@ -80,11 +80,9 @@ def test_theorem5_brr_scaling_with_n(benchmark):
         for n in (16, 32, 48, 64):
             graph = barbell_graph(n)
             config = SimulationConfig(max_rounds=100 * n)
-            rounds = []
-            for seed in range(TRIALS):
-                rng = np.random.default_rng(seed)
-                protocol = RoundRobinBroadcastTree(graph, root=0, rng=rng)
-                rounds.append(GossipEngine(graph, protocol, config, rng).run().rounds)
+            rngs = [np.random.default_rng(seed) for seed in range(TRIALS)]
+            protocols = [RoundRobinBroadcastTree(graph, root=0, rng=rng) for rng in rngs]
+            rounds = [r.rounds for r in run_spanning_tree_batch(graph, protocols, config, rngs)]
             rows.append(
                 {
                     "n": graph.number_of_nodes(),

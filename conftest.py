@@ -2,12 +2,39 @@
 
 Puts ``src/`` on ``sys.path`` so the test suite and the benchmark harness work
 even when the package has not been pip-installed (useful in offline
-environments where editable installs need extra flags).
+environments where editable installs need extra flags), and registers the
+``slow`` marker: long-running sweeps (e.g. the large batch-vs-scalar
+equivalence cross products) are excluded from the tier-1 run and enabled with
+``pytest --run-slow`` (``make test-slow``).
 """
 
+import pytest
 import sys
 from pathlib import Path
 
 _SRC = Path(__file__).parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow", action="store_true", default=False,
+        help="also run tests marked slow (long equivalence sweeps)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running sweep excluded from tier-1; enable with --run-slow",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow: run with --run-slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -131,9 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--batch", action=argparse.BooleanOptionalAction, default=True,
         help=(
-            "use the vectorised rank-only batch engine when the protocol "
-            "supports it; --no-batch forces the sequential scalar decoders "
-            "(same results, slower)"
+            "run all trials through the protocol's vectorised batch engine "
+            "(uniform gossip, tag and tag-is all declare one — see "
+            "GossipProcess.batch_strategy); --no-batch forces the sequential "
+            "scalar engine (same results, slower)"
         ),
     )
 
@@ -165,8 +166,9 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument(
         "--batch", action=argparse.BooleanOptionalAction, default=True,
         help=(
-            "use the vectorised batch engine for rank-only cases; "
-            "--no-batch forces the sequential path (same results, slower)"
+            "use each case's vectorised batch engine (uniform AG and every "
+            "TAG variant have one); --no-batch forces the sequential path "
+            "(same results, slower)"
         ),
     )
 

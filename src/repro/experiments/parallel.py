@@ -8,9 +8,11 @@ increasingly aggressive — but **bit-identical** — ways of running them:
   :mod:`repro.analysis.stopping_time`): one
   :class:`~repro.gossip.engine.GossipEngine` per trial, scalar decoders.
 * :func:`measure_protocol_batched` / :func:`run_trials_batched`: all trials
-  in one :class:`~repro.gossip.batch.BatchGossipEngine` when the protocol
-  supports the rank-only fast path (uniform algebraic gossip does), falling
-  back to the sequential engine otherwise.
+  in one vectorised batch engine when the protocol declares one through
+  :meth:`~repro.gossip.engine.GossipProcess.batch_strategy` (uniform
+  algebraic gossip, TAG with every built-in spanning-tree protocol, and
+  standalone spanning-tree broadcasts all do), falling back to the
+  sequential engine otherwise.
 * :func:`measure_protocol_parallel` / :func:`run_trials_parallel`: the trial
   set split across worker processes with a ``ProcessPoolExecutor``, each
   worker running the batched engine on its chunk.
@@ -35,7 +37,6 @@ from ..core.results import RunResult, StoppingTimeStats, aggregate_results
 from ..core.rng import derive_rng
 from ..errors import AnalysisError
 from ..analysis.stopping_time import ProtocolFactory
-from ..gossip.batch import BatchGossipEngine
 from ..gossip.engine import GossipEngine
 
 __all__ = [
@@ -72,9 +73,10 @@ def _measure_trial_indices(
     remaining = list(rngs)
     if batch and remaining:
         first = protocol_factory(graph, remaining[0])
-        if BatchGossipEngine.is_batchable(first):
+        strategy = first.batch_strategy()
+        if strategy is not None:
             processes = [first] + [protocol_factory(graph, rng) for rng in remaining[1:]]
-            return BatchGossipEngine(graph, processes, config, rngs).run()
+            return strategy(graph, processes, config, rngs)
         results.append(GossipEngine(graph, first, config, remaining[0]).run())
         remaining = remaining[1:]
     for rng in remaining:

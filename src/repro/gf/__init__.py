@@ -6,7 +6,7 @@ The public entry point is :func:`GF`, a cached factory returning a
     >>> from repro.gf import GF
     >>> gf16 = GF(16)
     >>> int(gf16.mul(7, 9))
-    8
+    10
 
 Prime orders yield :class:`~repro.gf.field.PrimeField` (modular arithmetic),
 prime powers yield :class:`~repro.gf.field.ExtensionField` (lookup tables).

@@ -30,6 +30,18 @@ from .polynomial import factor_prime_power, find_binary_irreducible, find_irredu
 
 __all__ = ["GaloisField", "PrimeField", "ExtensionField"]
 
+#: Module-level cache of extension-field lookup tables, keyed by field order:
+#: ``order -> (add, mul, neg, inverse)``.  Building the ``q x q`` tables costs
+#: ``O(q^2)`` polynomial multiplications — noticeable for ``GF(256)`` — and the
+#: tables are immutable, so every :class:`ExtensionField` instance of the same
+#: order (however constructed: the cached :func:`repro.gf.GF` factory, direct
+#: instantiation in tests, or unpickling in worker processes, which re-enters
+#: ``__init__`` via ``GaloisField.__reduce__``) shares one set instead of
+#: rebuilding them from scratch.
+_EXTENSION_TABLE_CACHE: dict[
+    int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+] = {}
+
 
 def _as_array(values: object, order: int) -> np.ndarray:
     """Convert ``values`` to an integer numpy array and range-check it."""
@@ -214,6 +226,14 @@ class GaloisField(ABC):
     def __hash__(self) -> int:
         return hash(("GaloisField", self.order))
 
+    def __reduce__(self):
+        # A field is fully determined by its order, so pickle just that:
+        # unpickling re-runs __init__, which routes extension fields through
+        # the module-level table cache instead of shipping (and then holding)
+        # four private q x q table copies per instance, and keeps pickled
+        # payloads that embed a field small.
+        return (type(self), (self.order,))
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(order={self.order})"
 
@@ -294,9 +314,27 @@ class ExtensionField(GaloisField):
         else:
             self.modulus_bits = None
             self.modulus_coeffs = find_irreducible(characteristic, degree)
-        self._add_table, self._mul_table = self._build_tables()
-        self._neg_table = self._build_neg_table()
-        self._inverse_table = self._build_inverse_table()
+        cached = _EXTENSION_TABLE_CACHE.get(order)
+        if cached is None:
+            self._add_table, self._mul_table = self._build_tables()
+            self._neg_table = self._build_neg_table()
+            self._inverse_table = self._build_inverse_table()
+            tables = (
+                self._add_table,
+                self._mul_table,
+                self._neg_table,
+                self._inverse_table,
+            )
+            for table in tables:
+                table.setflags(write=False)  # shared between instances
+            _EXTENSION_TABLE_CACHE[order] = tables
+        else:
+            (
+                self._add_table,
+                self._mul_table,
+                self._neg_table,
+                self._inverse_table,
+            ) = cached
 
     # -- table construction --------------------------------------------
     def _digits(self, value: int) -> list[int]:

@@ -1,17 +1,30 @@
 """Gossip machinery: communication models, the engines and event traces."""
 
-from .batch import BatchGossipEngine
+from .batch import BatchEngineCore, BatchGossipEngine, run_rank_only_batch
+from .batch_tag import (
+    BatchSpanningTreeEngine,
+    BatchTagEngine,
+    run_spanning_tree_batch,
+    run_tag_batch,
+)
 from .communication import (
     FixedPartnerSelector,
     PartnerSelector,
     RoundRobinSelector,
     UniformSelector,
 )
-from .engine import GossipEngine, GossipProcess, Transmission, run_protocol
+from .engine import BatchRunner, GossipEngine, GossipProcess, Transmission, run_protocol
 from .trace import EventTrace, GossipEvent
 
 __all__ = [
+    "BatchEngineCore",
     "BatchGossipEngine",
+    "BatchSpanningTreeEngine",
+    "BatchTagEngine",
+    "BatchRunner",
+    "run_rank_only_batch",
+    "run_spanning_tree_batch",
+    "run_tag_batch",
     "FixedPartnerSelector",
     "PartnerSelector",
     "RoundRobinSelector",

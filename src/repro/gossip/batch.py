@@ -1,19 +1,28 @@
-"""Vectorised batch-trial simulation of rank-only gossip processes.
+"""Vectorised batch-trial simulation of gossip processes.
 
 The sequential :class:`~repro.gossip.engine.GossipEngine` runs one trial at a
 time, and every received packet pays a Python-level incremental
 Gaussian-elimination loop inside the node's scalar decoder — the dominant
-cost of every Monte Carlo benchmark in this repository.
-:class:`BatchGossipEngine` runs ``T`` independent trials of a *rank-only*
-protocol (see :meth:`GossipProcess.supports_rank_only_batch
-<repro.gossip.engine.GossipProcess.supports_rank_only_batch>`) in lockstep
-and keeps all ``T x n`` decoder states in one
+cost of every Monte Carlo benchmark in this repository.  The engines in this
+module (and in :mod:`repro.gossip.batch_tag`) run ``T`` independent trials in
+lockstep instead: per-trial node state is kept as stacked ``T x n`` arrays,
+and all ``T x n`` decoder states live in one
 :class:`~repro.rlnc.batch.BatchDecoder`, so each (round, wave) of deliveries
 is a single vectorised ``GF(q)`` sweep instead of ``T x n`` scalar loops.
 
+Protocols opt in through :meth:`GossipProcess.batch_strategy
+<repro.gossip.engine.GossipProcess.batch_strategy>`, which names the
+vectorised executor for that protocol:
+
+* :class:`BatchGossipEngine` (here) — rank-only uniform algebraic gossip;
+* :class:`~repro.gossip.batch_tag.BatchTagEngine` — the two-phase TAG
+  protocol with any supported spanning-tree protocol;
+* :class:`~repro.gossip.batch_tag.BatchSpanningTreeEngine` — spanning-tree
+  protocols run standalone (the Theorem 5 broadcast measurements).
+
 Bit-identical semantics
 -----------------------
-The batch engine is a *pure optimisation*: given the same per-trial random
+Every batch engine is a *pure optimisation*: given the same per-trial random
 generators it produces exactly the same :class:`~repro.core.results.RunResult`
 objects as running :class:`GossipEngine` once per trial.  Three properties
 make this work:
@@ -27,18 +36,23 @@ make this work:
    reduced row-echelon form ordered by pivot column; the unique RREF basis of
    a subspace means the batch decoder's stored rows — and therefore every
    encoded packet — coincide exactly with the scalar decoder's.
-3. **Within-round delivery order is preserved per node.**  Deliveries are
-   re-grouped into waves (one row per receiving decoder per sweep), but the
-   FIFO order of packets arriving at any single node is kept, so every
-   individual helpfulness flag matches the sequential run.
+3. **Within-round delivery order is preserved per node.**  Coded-packet
+   deliveries are re-grouped into waves (one row per receiving decoder per
+   sweep), but the FIFO order of packets arriving at any single node is kept,
+   so every individual helpfulness flag matches the sequential run.
+   Tree-protocol payloads touch per-trial tree state only (never the decoder
+   grid and never the random stream), so applying them inline while coded
+   rows are queued cannot reorder anything observable.
 
 Payloads are never touched: the batch path only answers "when does every node
-reach full rank", which is the only question the stopping-time experiments
-ask.  Protocols that need payload recovery or carry non-rank state must keep
-using the sequential engine.
+finish", which is the only question the stopping-time experiments ask.
+Protocols that need payload recovery or carry unsupported state must keep
+using the sequential engine (their :meth:`batch_strategy` returns ``None``).
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 import networkx as nx
 import numpy as np
@@ -49,25 +63,36 @@ from ..errors import SimulationError
 from ..rlnc.batch import BatchDecoder
 from .engine import GossipProcess
 
-__all__ = ["BatchGossipEngine"]
+__all__ = ["BatchEngineCore", "RlncBatchMixin", "BatchGossipEngine", "run_rank_only_batch"]
+
+#: Delivery entries produced by ``_wakeup``: coded rows go to the vectorised
+#: decoder grid, tree payloads are applied per trial by the subclass.
+_RLNC = "r"
+_STP = "s"
 
 
-class BatchGossipEngine:
-    """Run ``T`` trials of a rank-only gossip process as one vectorised system.
+class BatchEngineCore:
+    """Shared lockstep machinery for batch-trial gossip engines.
 
-    Parameters
-    ----------
-    graph:
-        The communication graph shared by all trials.
-    processes:
-        One protocol instance per trial, each already constructed with that
-        trial's generator (so any setup-time draws — e.g. random payloads —
-        have been consumed exactly as in the sequential path).  Every process
-        must report :meth:`~repro.gossip.engine.GossipProcess.supports_rank_only_batch`.
-    config:
-        The shared simulation configuration.
-    rngs:
-        The per-trial generators, aligned with ``processes``.
+    Owns everything protocol-independent: trial bookkeeping, the synchronous
+    and asynchronous time-model loops (mirroring
+    :class:`~repro.gossip.engine.GossipEngine` draw-for-draw), message / loss
+    / helpfulness counters, per-node completion rounds, and result assembly.
+
+    Subclasses implement the protocol-specific hooks:
+
+    * :meth:`_wakeup` — what a waking node transmits, as ``("r", problem,
+      row)`` coded entries and/or ``("s", receiver_pos, sender_pos, payload)``
+      tree entries, drawing from the trial's generator exactly as the scalar
+      protocol would;
+    * :meth:`_apply_rows` — absorb one wave of coded rows (at most one per
+      receiving decoder);
+    * :meth:`_apply_tree_payload` — apply one tree-protocol payload, returning
+      its helpfulness;
+    * :meth:`_finished_mask` — which nodes of a trial have individually
+      completed;
+    * :meth:`_trial_metadata` — the per-trial metadata dict, matching the
+      scalar protocol's :meth:`~repro.gossip.engine.GossipProcess.metadata`.
     """
 
     def __init__(
@@ -82,17 +107,11 @@ class BatchGossipEngine:
         if not nx.is_connected(graph):
             raise SimulationError("gossip requires a connected graph")
         if not processes:
-            raise SimulationError("BatchGossipEngine needs at least one trial")
+            raise SimulationError(f"{type(self).__name__} needs at least one trial")
         if len(processes) != len(rngs):
             raise SimulationError(
                 f"{len(processes)} processes but {len(rngs)} generators"
             )
-        for process in processes:
-            if not self.is_batchable(process):
-                raise SimulationError(
-                    f"{type(process).__name__} does not support the rank-only "
-                    "batch fast path; use GossipEngine per trial instead"
-                )
         self.graph = graph
         self.processes = processes
         self.config = config
@@ -101,17 +120,6 @@ class BatchGossipEngine:
         self._nodes = sorted(graph.nodes())
         self._n = len(self._nodes)
         self._pos = {node: pos for pos, node in enumerate(self._nodes)}
-        first = processes[0]
-        self.field = first.generation.field
-        self.k = first.generation.k
-        for process in processes:
-            if process.generation.k != self.k or process.generation.field != self.field:
-                raise SimulationError("all batched trials must share k and the field")
-            if process.action is not first.action:
-                raise SimulationError("all batched trials must share the gossip action")
-        self.action = first.action
-        self._decoder = BatchDecoder(self.field, self.k, self.trials * self._n)
-        self._seed_from_processes()
         # Per-trial counters, mirroring GossipEngine's scalars.
         self._messages_sent = np.zeros(self.trials, dtype=np.int64)
         self._helpful_messages = np.zeros(self.trials, dtype=np.int64)
@@ -122,13 +130,39 @@ class BatchGossipEngine:
         self._loss_probability = config.loss_probability
 
     # ------------------------------------------------------------------
+    # Protocol hooks
+    # ------------------------------------------------------------------
+    def _wakeup(self, t: int, pos: int) -> list[tuple]:
+        """Transmissions of node position ``pos`` of trial ``t`` waking up."""
+        raise NotImplementedError
+
+    def _apply_rows(self, wave: list[tuple[int, np.ndarray, int]]) -> None:
+        """Absorb one wave of ``(problem, row, trial)`` coded entries."""
+        raise NotImplementedError(
+            f"{type(self).__name__} produced a coded-row delivery but does "
+            "not implement _apply_rows"
+        )
+
+    def _apply_tree_payload(
+        self, t: int, receiver_pos: int, sender_pos: int, payload: Any
+    ) -> bool:
+        """Apply one tree-protocol payload; return its helpfulness."""
+        raise NotImplementedError(
+            f"{type(self).__name__} produced a tree delivery but does not "
+            "implement _apply_tree_payload"
+        )
+
+    def _finished_mask(self, t: int) -> np.ndarray:
+        """Boolean ``(n,)`` mask of individually completed nodes of trial ``t``."""
+        raise NotImplementedError
+
+    def _trial_metadata(self, t: int) -> dict[str, Any]:
+        """Metadata dict of trial ``t``, matching the scalar protocol's."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    @staticmethod
-    def is_batchable(process: GossipProcess) -> bool:
-        """Does ``process`` opt in to the rank-only batch fast path?"""
-        return bool(process.supports_rank_only_batch())
-
     def run(self) -> list[RunResult]:
         """Run every trial to completion (or the round limit); results in trial order."""
         if self.config.time_model is TimeModel.SYNCHRONOUS:
@@ -141,8 +175,7 @@ class BatchGossipEngine:
                 raise SimulationError(
                     f"protocol did not complete within {self.config.max_rounds} rounds"
                 )
-            metadata = dict(self.processes[t].metadata())
-            metadata["min_rank"] = int(self._trial_ranks(t).min())
+            metadata = self._trial_metadata(t)
             if self._loss_probability > 0:
                 metadata.setdefault("dropped_messages", int(self._dropped_messages[t]))
             results.append(
@@ -163,13 +196,17 @@ class BatchGossipEngine:
     # ------------------------------------------------------------------
     # Time models
     # ------------------------------------------------------------------
-    def _run_synchronous(self) -> tuple[np.ndarray, np.ndarray]:
+    def _start(self) -> tuple[np.ndarray, np.ndarray, list[int]]:
         rounds = np.zeros(self.trials, dtype=np.int64)
         completed = np.zeros(self.trials, dtype=bool)
         for t in range(self.trials):
             self._note_completions(t, 0)
         active = [t for t in range(self.trials) if not self._trial_complete(t)]
         completed[[t for t in range(self.trials) if t not in active]] = True
+        return rounds, completed, active
+
+    def _run_synchronous(self) -> tuple[np.ndarray, np.ndarray]:
+        rounds, completed, active = self._start()
         round_index = 0
         while active and round_index < self.config.max_rounds:
             round_index += 1
@@ -192,12 +229,7 @@ class BatchGossipEngine:
         return rounds, completed
 
     def _run_asynchronous(self) -> tuple[np.ndarray, np.ndarray]:
-        rounds = np.zeros(self.trials, dtype=np.int64)
-        completed = np.zeros(self.trials, dtype=bool)
-        for t in range(self.trials):
-            self._note_completions(t, 0)
-        active = [t for t in range(self.trials) if not self._trial_complete(t)]
-        completed[[t for t in range(self.trials) if t not in active]] = True
+        rounds, completed, active = self._start()
         max_timeslots = self.config.max_rounds * self._n
         while active:
             survivors = []
@@ -212,11 +244,11 @@ class BatchGossipEngine:
             waves: tuple[list, list] = ([], [])
             for t in active:
                 rng = self.rngs[t]
-                node = self._nodes[int(rng.integers(0, self._n))]
+                pos = int(rng.integers(0, self._n))
                 self._timeslots[t] += 1
-                transmissions = self._wakeup(t, node)
+                entries = self._wakeup(t, pos)
                 wave_slot = 0
-                for receiver_problem, row in transmissions:
+                for entry in entries:
                     self._messages_sent[t] += 1
                     if (
                         self._loss_probability > 0
@@ -224,10 +256,14 @@ class BatchGossipEngine:
                     ):
                         self._dropped_messages[t] += 1
                         continue
-                    waves[wave_slot].append((receiver_problem, row, t))
-                    wave_slot += 1
+                    if entry[0] == _RLNC:
+                        waves[wave_slot].append((entry[1], entry[2], t))
+                        wave_slot += 1
+                    elif self._apply_tree_payload(t, entry[1], entry[2], entry[3]):
+                        self._helpful_messages[t] += 1
             for wave in waves:
-                self._apply_wave(wave)
+                if wave:
+                    self._apply_rows(wave)
             still_active = []
             for t in active:
                 round_now = -(-int(self._timeslots[t]) // self._n)
@@ -243,6 +279,83 @@ class BatchGossipEngine:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _trial_complete(self, t: int) -> bool:
+        return bool(np.all(self._finished_mask(t)))
+
+    def _note_completions(self, t: int, round_index: int) -> None:
+        newly = self._finished_mask(t) & ~self._noted[t]
+        if newly.any():
+            for pos in np.nonzero(newly)[0]:
+                self._completion_rounds[t][self._nodes[pos]] = round_index
+            self._noted[t][newly] = True
+
+    def _collect_wakeups(self, active: list[int]) -> list[tuple[int, list[tuple]]]:
+        """Synchronous wakeup phase: all draws, no decoder/tree mutation."""
+        pending: list[tuple[int, list[tuple]]] = []
+        for t in active:
+            trial_pending: list[tuple] = []
+            for pos in range(self._n):
+                trial_pending.extend(self._wakeup(t, pos))
+            pending.append((t, trial_pending))
+        return pending
+
+    def _deliver_in_waves(self, pending: list[tuple[int, list[tuple]]]) -> None:
+        """End-of-round delivery: loss draws in pending order, then waves.
+
+        Tree payloads are applied inline (per-trial scalar state, no random
+        draws); coded rows are queued per receiving decoder — FIFO order per
+        receiver preserved — and absorbed in depth waves, one vectorised
+        sweep per depth.
+        """
+        queues: dict[int, list[tuple[np.ndarray, int]]] = {}
+        for t, trial_pending in pending:
+            rng = self.rngs[t]
+            for entry in trial_pending:
+                self._messages_sent[t] += 1
+                if (
+                    self._loss_probability > 0
+                    and rng.random() < self._loss_probability
+                ):
+                    self._dropped_messages[t] += 1
+                    continue
+                if entry[0] == _RLNC:
+                    queues.setdefault(entry[1], []).append((entry[2], t))
+                elif self._apply_tree_payload(t, entry[1], entry[2], entry[3]):
+                    self._helpful_messages[t] += 1
+        depth = 0
+        while True:
+            wave = [
+                (problem, entries[depth][0], entries[depth][1])
+                for problem, entries in queues.items()
+                if len(entries) > depth
+            ]
+            if not wave:
+                break
+            self._apply_rows(wave)
+            depth += 1
+
+
+class RlncBatchMixin:
+    """Decoder grid shared by the RLNC-carrying batch engines.
+
+    Adds a :class:`~repro.rlnc.batch.BatchDecoder` spanning ``trials x n``
+    problems, seeds it from the per-trial scalar decoders (so construction
+    time state matches exactly), and provides the rank-based completion mask
+    plus the vectorised encode / receive steps.
+    """
+
+    _decoder: BatchDecoder
+
+    def _init_decoder_grid(self) -> None:
+        first = self.processes[0]
+        self.field = first.generation.field
+        self.k = first.generation.k
+        for process in self.processes:
+            if process.generation.k != self.k or process.generation.field != self.field:
+                raise SimulationError("all batched trials must share k and the field")
+        self._decoder = BatchDecoder(self.field, self.k, self.trials * self._n)
+        self._seed_from_processes()
+
     def _seed_from_processes(self) -> None:
         """Absorb every trial decoder's initial rows into the batch state.
 
@@ -271,40 +384,8 @@ class BatchGossipEngine:
     def _trial_ranks(self, t: int) -> np.ndarray:
         return self._decoder.ranks[t * self._n : (t + 1) * self._n]
 
-    def _trial_complete(self, t: int) -> bool:
-        return bool(np.all(self._trial_ranks(t) == self.k))
-
-    def _note_completions(self, t: int, round_index: int) -> None:
-        newly = (self._trial_ranks(t) == self.k) & ~self._noted[t]
-        if newly.any():
-            for pos in np.nonzero(newly)[0]:
-                self._completion_rounds[t][self._nodes[pos]] = round_index
-            self._noted[t][newly] = True
-
-    def _wakeup(self, t: int, node: int) -> list[tuple[int, np.ndarray]]:
-        """Replicate ``AlgebraicGossip.on_wakeup`` against the batch state.
-
-        Returns ``(receiver_problem, coefficient_row)`` pairs; the random
-        draws (partner, then sender coefficients in PUSH-then-PULL order)
-        match the scalar protocol call-for-call.
-        """
-        rng = self.rngs[t]
-        process = self.processes[t]
-        partner = process.selector.partner(node, rng)
-        if partner is None:
-            return []
-        base = t * self._n
-        pos, ppos = self._pos[node], self._pos[partner]
-        transmissions: list[tuple[int, np.ndarray]] = []
-        if self.action in (GossipAction.PUSH, GossipAction.EXCHANGE):
-            row = self._encode(base + pos, rng)
-            if row is not None:
-                transmissions.append((base + ppos, row))
-        if self.action in (GossipAction.PULL, GossipAction.EXCHANGE):
-            row = self._encode(base + ppos, rng)
-            if row is not None:
-                transmissions.append((base + pos, row))
-        return transmissions
+    def _finished_mask(self, t: int) -> np.ndarray:
+        return self._trial_ranks(t) == self.k
 
     def _encode(self, problem: int, rng: np.random.Generator) -> np.ndarray | None:
         """One freshly coded coefficient vector, or ``None`` at rank zero."""
@@ -314,45 +395,7 @@ class BatchGossipEngine:
         coefficients = self.field.random_elements(rng, rank)
         return self._decoder.encode(problem, coefficients)
 
-    def _collect_wakeups(
-        self, active: list[int]
-    ) -> list[tuple[int, list[tuple[int, np.ndarray]]]]:
-        """Synchronous wakeup phase: all draws, no state mutation."""
-        pending: list[tuple[int, list[tuple[int, np.ndarray]]]] = []
-        for t in active:
-            trial_pending: list[tuple[int, np.ndarray]] = []
-            for node in self._nodes:
-                trial_pending.extend(self._wakeup(t, node))
-            pending.append((t, trial_pending))
-        return pending
-
-    def _deliver_in_waves(self, pending) -> None:
-        """End-of-round delivery: loss draws in pending order, then waves."""
-        queues: dict[int, list[tuple[np.ndarray, int]]] = {}
-        for t, trial_pending in pending:
-            rng = self.rngs[t]
-            for receiver_problem, row in trial_pending:
-                self._messages_sent[t] += 1
-                if (
-                    self._loss_probability > 0
-                    and rng.random() < self._loss_probability
-                ):
-                    self._dropped_messages[t] += 1
-                    continue
-                queues.setdefault(receiver_problem, []).append((row, t))
-        depth = 0
-        while True:
-            wave = [
-                (problem, entries[depth][0], entries[depth][1])
-                for problem, entries in queues.items()
-                if len(entries) > depth
-            ]
-            if not wave:
-                break
-            self._apply_wave(wave)
-            depth += 1
-
-    def _apply_wave(self, wave: list[tuple[int, np.ndarray, int]]) -> None:
+    def _apply_rows(self, wave: list[tuple[int, np.ndarray, int]]) -> None:
         """One vectorised sweep: at most one row per receiving decoder."""
         if not wave:
             return
@@ -361,3 +404,88 @@ class BatchGossipEngine:
         trials = np.fromiter((entry[2] for entry in wave), dtype=np.int64, count=len(wave))
         helpful = self._decoder.receive(rows, indices)
         np.add.at(self._helpful_messages, trials[helpful], 1)
+
+
+class BatchGossipEngine(RlncBatchMixin, BatchEngineCore):
+    """Run ``T`` trials of a rank-only gossip process as one vectorised system.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph shared by all trials.
+    processes:
+        One protocol instance per trial, each already constructed with that
+        trial's generator (so any setup-time draws — e.g. random payloads —
+        have been consumed exactly as in the sequential path).  Every process
+        must report :meth:`~repro.gossip.engine.GossipProcess.supports_rank_only_batch`.
+    config:
+        The shared simulation configuration.
+    rngs:
+        The per-trial generators, aligned with ``processes``.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        processes: list[GossipProcess],
+        config: SimulationConfig,
+        rngs: list[np.random.Generator],
+    ) -> None:
+        super().__init__(graph, processes, config, rngs)
+        for process in processes:
+            if not self.is_batchable(process):
+                raise SimulationError(
+                    f"{type(process).__name__} does not support the rank-only "
+                    "batch fast path; use GossipEngine per trial instead"
+                )
+        first = processes[0]
+        for process in processes:
+            if process.action is not first.action:
+                raise SimulationError("all batched trials must share the gossip action")
+        self.action = first.action
+        self._init_decoder_grid()
+
+    @staticmethod
+    def is_batchable(process: GossipProcess) -> bool:
+        """Does ``process`` opt in to the rank-only batch fast path?"""
+        return bool(process.supports_rank_only_batch())
+
+    def _wakeup(self, t: int, pos: int) -> list[tuple]:
+        """Replicate ``AlgebraicGossip.on_wakeup`` against the batch state.
+
+        Returns ``("r", receiver_problem, coefficient_row)`` entries; the
+        random draws (partner, then sender coefficients in PUSH-then-PULL
+        order) match the scalar protocol call-for-call.
+        """
+        rng = self.rngs[t]
+        process = self.processes[t]
+        partner = process.selector.partner(self._nodes[pos], rng)
+        if partner is None:
+            return []
+        base = t * self._n
+        ppos = self._pos[partner]
+        entries: list[tuple] = []
+        if self.action in (GossipAction.PUSH, GossipAction.EXCHANGE):
+            row = self._encode(base + pos, rng)
+            if row is not None:
+                entries.append((_RLNC, base + ppos, row))
+        if self.action in (GossipAction.PULL, GossipAction.EXCHANGE):
+            row = self._encode(base + ppos, rng)
+            if row is not None:
+                entries.append((_RLNC, base + pos, row))
+        return entries
+
+    def _trial_metadata(self, t: int) -> dict[str, Any]:
+        metadata = dict(self.processes[t].metadata())
+        metadata["min_rank"] = int(self._trial_ranks(t).min())
+        return metadata
+
+
+def run_rank_only_batch(
+    graph: nx.Graph,
+    processes: list[GossipProcess],
+    config: SimulationConfig,
+    rngs: list[np.random.Generator],
+) -> list[RunResult]:
+    """Batch executor for rank-only protocols (the default strategy target)."""
+    return BatchGossipEngine(graph, processes, config, rngs).run()

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable, List
 
 import networkx as nx
 import numpy as np
@@ -36,7 +36,23 @@ from ..core.results import RunResult
 from ..errors import SimulationError
 from .trace import EventTrace, GossipEvent
 
-__all__ = ["Transmission", "GossipProcess", "GossipEngine", "run_protocol"]
+__all__ = [
+    "Transmission",
+    "GossipProcess",
+    "GossipEngine",
+    "run_protocol",
+    "BatchRunner",
+]
+
+#: Signature of a vectorised batch executor as returned by
+#: :meth:`GossipProcess.batch_strategy`: it receives the shared graph, one
+#: already-constructed process per trial, the shared configuration and the
+#: per-trial generators, and returns one :class:`~repro.core.results.RunResult`
+#: per trial — bit-identical to running :class:`GossipEngine` once per trial.
+BatchRunner = Callable[
+    [nx.Graph, "List[GossipProcess]", SimulationConfig, List[np.random.Generator]],
+    List[RunResult],
+]
 
 
 @dataclass(frozen=True)
@@ -102,13 +118,37 @@ class GossipProcess(ABC):
 
         :class:`~repro.gossip.batch.BatchGossipEngine` runs many trials of a
         protocol at once but tracks only decoder *ranks* (no payloads), so it
-        is selected automatically — by the batched trial runners in
-        :mod:`repro.experiments.parallel` — only for processes that return
-        ``True`` here.  A protocol may do so only when its entire observable
-        behaviour (transmissions, helpfulness, completion) is a function of
-        coefficient ranks and the random stream; the default is ``False``.
+        is selected automatically — via :meth:`batch_strategy` — only for
+        processes that return ``True`` here.  A protocol may do so only when
+        its entire observable behaviour (transmissions, helpfulness,
+        completion) is a function of coefficient ranks and the random stream;
+        the default is ``False``.
         """
         return False
+
+    def batch_strategy(self) -> BatchRunner | None:
+        """Return this protocol's vectorised batch executor, or ``None``.
+
+        The batched trial runners in :mod:`repro.experiments.parallel` build
+        one process per trial, ask the first for its strategy, and — when one
+        is declared — hand the whole trial set to it instead of running
+        :class:`GossipEngine` once per trial.  Every strategy is a *pure
+        optimisation*: same per-trial generators, bit-identical results.
+
+        Protocols declare their own executor: uniform algebraic gossip (via
+        :meth:`supports_rank_only_batch`) uses the rank-only
+        :class:`~repro.gossip.batch.BatchGossipEngine`; TAG returns the
+        two-phase :class:`~repro.gossip.batch_tag.BatchTagEngine`; spanning
+        tree protocols run standalone through
+        :class:`~repro.gossip.batch_tag.BatchSpanningTreeEngine`.  The default
+        covers the rank-only opt-in and returns ``None`` otherwise (sequential
+        fallback).
+        """
+        if self.supports_rank_only_batch():
+            from .batch import run_rank_only_batch
+
+            return run_rank_only_batch
+        return None
 
 
 class GossipEngine:

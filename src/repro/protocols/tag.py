@@ -152,6 +152,40 @@ class TagProtocol(GossipProcess):
     def finished_nodes(self) -> set[int]:
         return {node for node, decoder in self.decoders.items() if decoder.is_complete}
 
+    def batch_strategy(self):
+        """TAG declares the two-phase lockstep executor of the batch fast path.
+
+        Eligible when this is exactly :class:`TagProtocol` (a subclass could
+        carry state the batch engine does not replicate) composed with one of
+        the supported spanning-tree protocol types; see
+        :mod:`repro.gossip.batch_tag`.  TAG's observable behaviour —
+        transmissions, helpfulness, completion — depends only on tree state,
+        decoder ranks and the random stream, never on packet payloads, which
+        is what makes the rank-only lockstep replication exact.
+        """
+        from ..gossip.batch_tag import tag_batch_runner
+
+        return tag_batch_runner(self)
+
+    def load_batch_outcome(
+        self,
+        *,
+        wakeups: Mapping[int, int],
+        total_wakeups: int,
+        tree_complete_at_wakeup: int | None,
+    ) -> None:
+        """Install a batch run's wakeup bookkeeping (the batch restore hook).
+
+        :class:`~repro.gossip.batch_tag.BatchTagEngine` advances the wakeup
+        counters as arrays and writes them back here (after restoring the
+        spanning-tree protocol's own state), so :meth:`metadata` — including
+        ``phase1_rounds`` — is produced by exactly the same code as in a
+        sequential run.
+        """
+        self._wakeups = {node: int(count) for node, count in wakeups.items()}
+        self._total_wakeups = int(total_wakeups)
+        self._tree_complete_at_wakeup = tree_complete_at_wakeup
+
     def metadata(self) -> dict[str, Any]:
         tree = self.stp.current_tree()
         phase1_rounds = (

@@ -73,7 +73,8 @@ class TestBatchedEqualsSequential:
         )
         assert batched.samples == sequential.samples
 
-    def test_non_batchable_protocol_falls_back(self):
+    def test_tag_runs_on_its_own_batch_path(self):
+        # TAG declares the BatchTagEngine strategy; results stay bit-identical.
         case = tag_case("barbell", 10, 10)
         sequential = measure_protocol(
             case.graph, case.protocol_factory, case.config, trials=2, seed=13
@@ -83,7 +84,39 @@ class TestBatchedEqualsSequential:
         )
         assert _signature(batched) == _signature(sequential)
 
-    def test_tag_is_not_batchable(self):
+    def test_non_batchable_protocol_falls_back(self, uniform_case):
+        # A uniform-AG process with a non-uniform selector declares no batch
+        # strategy, so the batched runner must fall back to the sequential
+        # engine — and still match it (trivially, being the same path).
+        from repro.gossip.communication import RoundRobinSelector
+        from repro.protocols import AlgebraicGossip
+        from repro.rlnc import Generation
+        from repro.gf import GF
+        from repro.experiments import all_to_all_placement
+
+        config = default_config()
+
+        def factory(graph, rng):
+            generation = Generation.random(GF(16), graph.number_of_nodes(), 2, rng)
+            return AlgebraicGossip(
+                graph, generation, all_to_all_placement(graph), config, rng,
+                selector=RoundRobinSelector(graph, rng),
+            )
+
+        import numpy as np
+
+        assert factory(uniform_case.graph, np.random.default_rng(0)).batch_strategy() is None
+        sequential = measure_protocol(
+            uniform_case.graph, factory, config, trials=2, seed=13
+        )
+        batched = measure_protocol_batched(
+            uniform_case.graph, factory, config, trials=2, seed=13
+        )
+        assert _signature(batched) == _signature(sequential)
+
+    def test_tag_is_not_rank_only_batchable(self):
+        # The rank-only BatchGossipEngine still rejects TAG — TAG's fast path
+        # is the dedicated BatchTagEngine, not the uniform-gossip engine.
         case = tag_case("barbell", 10, 10)
         import numpy as np
 

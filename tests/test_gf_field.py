@@ -193,3 +193,38 @@ class TestRawOperations:
         broadcast = gf16.raw_mul(factor[:, np.newaxis], rows)
         for i in range(4):
             assert np.array_equal(broadcast[i], gf16.mul(factor[i], rows[i]))
+
+
+class TestExtensionTableCache:
+    """Extension-field lookup tables are memoised per order (module cache)."""
+
+    def test_tables_are_shared_between_instances(self):
+        first = ExtensionField(16)
+        second = ExtensionField(16)
+        assert first is not second
+        assert first._add_table is second._add_table
+        assert first._mul_table is second._mul_table
+        assert first._neg_table is second._neg_table
+        assert first._inverse_table is second._inverse_table
+
+    def test_shared_tables_are_immutable(self):
+        field = ExtensionField(16)
+        with pytest.raises(ValueError):
+            field._mul_table[0, 0] = 1
+
+    def test_cached_instance_still_computes_correctly(self):
+        ExtensionField(16)  # ensure the cache is warm
+        field = ExtensionField(16)
+        assert int(field.mul(7, 9)) == 10
+        assert int(field.add(5, 5)) == 0  # characteristic 2
+        assert int(field.mul(3, field.inv(3))) == 1
+
+    def test_pickle_roundtrip_shares_cached_tables(self):
+        import pickle
+
+        field = ExtensionField(16)
+        clone = pickle.loads(pickle.dumps(field))
+        assert clone == field
+        assert clone._mul_table is field._mul_table  # via __reduce__ + cache
+        prime = pickle.loads(pickle.dumps(PrimeField(7)))
+        assert int(prime.mul(3, 5)) == 1
