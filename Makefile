@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-slow bench-smoke bench-json docs-check
+.PHONY: test test-slow bench-smoke bench-json bench-check scenarios-check docs-check
 
 ## Tier-1 test suite (unit + property + integration).  Tests marked `slow`
 ## (the large batch-vs-scalar equivalence sweeps) are skipped here.
@@ -35,6 +35,16 @@ bench-json:
 	$(PYTHON) -m pytest benchmarks/bench_batch_core.py benchmarks/bench_batch_tag.py \
 		--benchmark-only -q
 	@ls -l benchmarks/output/BENCH_*.json
+
+## Perf-trajectory guard: fails if any committed BENCH_*.json record's batch
+## speedup sits below its asserted floor (or if no records exist at all).
+bench-check:
+	$(PYTHON) benchmarks/check_regression.py
+
+## Scenario-registry health check: materialise and smoke-run (1 trial) every
+## registered scenario through the CLI.
+scenarios-check:
+	$(PYTHON) -m repro scenario check
 
 ## Documentation drift check: executes every fenced Python block in
 ## README.md and the quickstart example they mirror.

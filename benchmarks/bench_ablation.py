@@ -9,53 +9,46 @@ Not a table in the paper, but each ablation isolates one modelling decision:
   round-robin broadcast vs IS on the barbell;
 * **phase interleaving in TAG** — faithful odd/even interleaving vs switching
   every wakeup to phase 2 once the tree is complete (a constant-factor change).
+
+Every ablation sweeps one axis of a :class:`~repro.scenarios.ScenarioSpec`
+and runs through the scenario layer — no hand-rolled factories.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from _utils import PEDANTIC, report
-from repro.analysis import run_trials
-from repro.core import GossipAction, SimulationConfig
-from repro.gf import GF
-from repro.gossip import GossipEngine
-from repro.graphs import barbell_graph, ring_graph
-from repro.protocols import AlgebraicGossip, RoundRobinBroadcastTree, TagProtocol
-from repro.rlnc import Generation
-from repro.experiments import all_to_all_placement, default_config, tag_case
+from repro.core import GossipAction
+from repro.experiments import default_config, tag_case
+from repro.experiments.parallel import run_trials_batched
+from repro.scenarios import ScenarioSpec
 
 TRIALS = 3
 N = 16
 
+_RING_CONFIG = default_config(max_rounds=500_000)
+
 
 def _action_ablation():
-    graph = ring_graph(N)
     rows = []
     for action in (GossipAction.EXCHANGE, GossipAction.PUSH, GossipAction.PULL):
-        config = SimulationConfig(action=action, max_rounds=500_000)
-
-        def factory(g, rng):
-            generation = Generation.random(GF(16), N, 2, rng)
-            return AlgebraicGossip(g, generation, all_to_all_placement(g), config, rng)
-
-        stats = run_trials(graph, factory, config, trials=TRIALS, seed=909)
+        spec = ScenarioSpec(
+            topology="ring", n=N, config=_RING_CONFIG.replace(action=action),
+            trials=TRIALS, seed=909,
+        )
+        stats = spec.materialize().run()
         rows.append({"action": action.value, "mean_rounds": round(stats.mean, 1),
                      "p95_rounds": round(stats.whp, 1)})
     return rows
 
 
 def _field_size_ablation():
-    graph = ring_graph(N)
     rows = []
     for q in (2, 4, 16, 256):
-        config = SimulationConfig(field_size=q, max_rounds=500_000)
-
-        def factory(g, rng):
-            generation = Generation.random(GF(q), N, 2, rng)
-            return AlgebraicGossip(g, generation, all_to_all_placement(g), config, rng)
-
-        stats = run_trials(graph, factory, config, trials=TRIALS, seed=910)
+        spec = ScenarioSpec(
+            topology="ring", n=N, config=_RING_CONFIG.replace(field_size=q),
+            trials=TRIALS, seed=910,
+        )
+        stats = spec.materialize().run()
         rows.append({"q": q, "mean_rounds": round(stats.mean, 1),
                      "p95_rounds": round(stats.whp, 1)})
     return rows
@@ -66,30 +59,25 @@ def _tree_protocol_ablation():
     for stp in ("bfs_oracle", "uniform_broadcast", "brr", "is"):
         case = tag_case("barbell", N, N, spanning_tree=stp,
                         config=default_config(max_rounds=500_000))
-        stats = run_trials(case.graph, case.protocol_factory, case.config,
-                           trials=TRIALS, seed=911)
+        stats = run_trials_batched(case.graph, case.protocol_factory, case.config,
+                                   trials=TRIALS, seed=911)
         rows.append({"spanning_tree": stp, "mean_rounds": round(stats.mean, 1),
                      "p95_rounds": round(stats.whp, 1)})
     return rows
 
 
 def _interleaving_ablation():
-    graph = barbell_graph(N)
-    config = SimulationConfig(max_rounds=500_000)
     rows = []
     for keep_phase1, label in ((True, "faithful odd/even interleave"),
                                (False, "phase 2 only after tree completes")):
-        rounds = []
-        for seed in range(TRIALS):
-            rng = np.random.default_rng(seed)
-            generation = Generation.random(GF(16), N, 2, rng)
-            process = TagProtocol(
-                graph, generation, all_to_all_placement(graph), config, rng,
-                lambda g, r: RoundRobinBroadcastTree(g, 0, r),
-                keep_phase1_after_tree=keep_phase1,
-            )
-            rounds.append(GossipEngine(graph, process, config, rng).run().rounds)
-        rows.append({"variant": label, "mean_rounds": round(float(np.mean(rounds)), 1)})
+        spec = ScenarioSpec(
+            topology="barbell", n=N, protocol="tag", spanning_tree="brr",
+            keep_phase1_after_tree=keep_phase1,
+            config=default_config(max_rounds=500_000),
+            trials=TRIALS, seed=912,
+        )
+        stats = spec.materialize().run()
+        rows.append({"variant": label, "mean_rounds": round(stats.mean, 1)})
     return rows
 
 

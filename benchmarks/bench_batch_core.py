@@ -28,12 +28,12 @@ import time
 
 from _utils import PEDANTIC, report, report_json, trial_signature
 from repro.analysis.stopping_time import measure_protocol
-from repro.experiments import default_config, uniform_ag_case
 from repro.experiments.parallel import (
     default_jobs,
     measure_protocol_batched,
     measure_protocol_parallel,
 )
+from repro.scenarios import ScenarioSpec, default_scenario_config
 
 N = int(os.environ.get("REPRO_BENCH_BATCH_N", "128"))
 K = 16
@@ -42,29 +42,36 @@ SEED = 909
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_BATCH_MIN_SPEEDUP", "5.0"))
 SCALED_DOWN = (N, TRIALS, MIN_SPEEDUP) != (128, 64, 5.0)
 
+#: The whole workload as one declarative scenario: the spec's trial/seed plan
+#: is what both runners execute, so "same spec → same numbers" is literal.
+SPEC = ScenarioSpec(
+    topology="complete",
+    n=N,
+    k=K,
+    config=default_scenario_config(max_rounds=50_000),
+    trials=TRIALS,
+    seed=SEED,
+)
+
 
 def _run():
-    case = uniform_ag_case("complete", N, K, config=default_config(max_rounds=50_000))
+    scenario = SPEC.materialize()
     timings = {}
 
     start = time.perf_counter()
     sequential = measure_protocol(
-        case.graph, case.protocol_factory, case.config, trials=TRIALS, seed=SEED
+        scenario.graph, scenario.protocol_factory, scenario.config,
+        trials=TRIALS, seed=SEED,
     )
     timings["sequential (scalar decoders)"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    batched = measure_protocol_batched(
-        case.graph, case.protocol_factory, case.config, trials=TRIALS, seed=SEED
-    )
+    batched = measure_protocol_batched(scenario)
     timings["batched (BatchDecoder)"] = time.perf_counter() - start
 
     jobs = min(default_jobs(), 8)
     start = time.perf_counter()
-    parallel = measure_protocol_parallel(
-        case.graph, case.protocol_factory, case.config,
-        trials=TRIALS, seed=SEED, jobs=jobs,
-    )
+    parallel = measure_protocol_parallel(scenario, jobs=jobs)
     timings[f"parallel (batched, jobs={jobs})"] = time.perf_counter() - start
 
     assert trial_signature(batched) == trial_signature(sequential), (

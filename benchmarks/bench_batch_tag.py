@@ -28,8 +28,8 @@ import time
 
 from _utils import PEDANTIC, report, report_json, trial_signature
 from repro.analysis.stopping_time import measure_protocol
-from repro.experiments import default_config, tag_case
 from repro.experiments.parallel import measure_protocol_batched
+from repro.scenarios import ScenarioSpec, default_scenario_config
 
 N = int(os.environ.get("REPRO_BENCH_TAG_N", "128"))
 K = 16
@@ -40,24 +40,32 @@ TOPOLOGY = "complete"
 SPANNING_TREE = "brr"
 SCALED_DOWN = (N, TRIALS, MIN_SPEEDUP) != (128, 16, 5.0)
 
+#: The whole workload as one declarative scenario (see bench_batch_core).
+SPEC = ScenarioSpec(
+    topology=TOPOLOGY,
+    n=N,
+    k=K,
+    protocol="tag",
+    spanning_tree=SPANNING_TREE,
+    config=default_scenario_config(max_rounds=50_000),
+    trials=TRIALS,
+    seed=SEED,
+)
+
 
 def _run():
-    case = tag_case(
-        TOPOLOGY, N, K, spanning_tree=SPANNING_TREE,
-        config=default_config(max_rounds=50_000),
-    )
+    scenario = SPEC.materialize()
     timings = {}
 
     start = time.perf_counter()
     sequential = measure_protocol(
-        case.graph, case.protocol_factory, case.config, trials=TRIALS, seed=SEED
+        scenario.graph, scenario.protocol_factory, scenario.config,
+        trials=TRIALS, seed=SEED,
     )
     timings["sequential (scalar TagProtocol)"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    batched = measure_protocol_batched(
-        case.graph, case.protocol_factory, case.config, trials=TRIALS, seed=SEED
-    )
+    batched = measure_protocol_batched(scenario)
     timings["batched (BatchTagEngine)"] = time.perf_counter() - start
 
     assert trial_signature(batched) == trial_signature(sequential), (

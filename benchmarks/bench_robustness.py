@@ -5,38 +5,26 @@ extension the library supports: independent per-packet loss.  RLNC's
 resilience argument is that losing a coded packet never loses *specific*
 information, only generic rank, so the stopping time should degrade smoothly —
 roughly by a ``1/(1 − loss)`` factor — rather than fall off a cliff.
+
+The workload is the registered ``robustness/lossy-grid`` scenario with the
+loss probability swept through :meth:`ScenarioSpec.with_config`.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from _utils import PEDANTIC, report
-from repro.analysis import run_trials
-from repro.core import SimulationConfig
-from repro.gf import GF
-from repro.graphs import grid_graph
-from repro.protocols import AlgebraicGossip
-from repro.rlnc import Generation
-from repro.experiments import all_to_all_placement
+from repro.scenarios import get_scenario
 
 TRIALS = 3
 LOSS_LEVELS = [0.0, 0.1, 0.25, 0.5]
 
 
 def _run():
-    graph = grid_graph(16)
-    n = graph.number_of_nodes()
+    base = get_scenario("robustness/lossy-grid").replace(trials=TRIALS, seed=1111)
     rows = []
     baseline = None
     for loss in LOSS_LEVELS:
-        config = SimulationConfig(max_rounds=500_000, loss_probability=loss)
-
-        def factory(g, rng):
-            generation = Generation.random(GF(16), n, 2, rng)
-            return AlgebraicGossip(g, generation, all_to_all_placement(g), config, rng)
-
-        stats = run_trials(graph, factory, config, trials=TRIALS, seed=1111)
+        stats = base.with_config(loss_probability=loss).materialize().run()
         if baseline is None:
             baseline = stats.mean
         rows.append(

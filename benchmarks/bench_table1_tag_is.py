@@ -20,9 +20,9 @@ from _utils import BENCH_JOBS, PEDANTIC, report
 from repro.analysis import fit_linear, run_sweep, scaling_table
 from repro.core import SimulationConfig, TimeModel
 from repro.experiments import default_config, tag_case
-from repro.gossip import run_spanning_tree_batch
-from repro.graphs import barbell_graph, clique_chain_graph, weak_conductance
-from repro.protocols import ISSpanningTree
+from repro.experiments.parallel import measure_protocol_batched
+from repro.graphs import weak_conductance
+from repro.scenarios import ScenarioSpec
 
 TRIALS = 3
 N = 24
@@ -31,22 +31,28 @@ N = 24
 def _is_tree_rounds():
     """Stopping time of the IS spanning-tree construction on clique-based graphs."""
     rows = []
-    for name, graph in [
-        ("barbell", barbell_graph(N)),
-        ("clique_chain(c=3)", clique_chain_graph(N, cliques=3)),
+    for name, topology, topology_params in [
+        ("barbell", "barbell", {}),
+        ("clique_chain(c=3)", "clique_chain", {"cliques": 3}),
     ]:
-        config = SimulationConfig(max_rounds=10_000)
-        rngs = [np.random.default_rng(seed) for seed in range(TRIALS)]
-        protocols = [ISSpanningTree(graph, rng) for rng in rngs]
-        rounds = [r.rounds for r in run_spanning_tree_batch(graph, protocols, config, rngs)]
+        scenario = ScenarioSpec(
+            topology=topology,
+            n=N,
+            protocol="spanning_tree",
+            spanning_tree="is",
+            topology_params=topology_params,
+            config=SimulationConfig(max_rounds=10_000),
+            trials=TRIALS,
+        ).materialize()
+        rounds = [r.rounds for r in measure_protocol_batched(scenario)]
         rows.append(
             {
                 "graph": name,
-                "n": graph.number_of_nodes(),
-                "weak_conductance(c=3)": round(weak_conductance(graph, 3), 3),
+                "n": scenario.n,
+                "weak_conductance(c=3)": round(weak_conductance(scenario.graph, 3), 3),
                 "mean_rounds": round(float(np.mean(rounds)), 2),
                 "max_rounds": round(float(np.max(rounds)), 2),
-                "polylog_reference(4·ln n)": round(4 * math.log(graph.number_of_nodes()), 2),
+                "polylog_reference(4·ln n)": round(4 * math.log(scenario.n), 2),
             }
         )
     return rows

@@ -5,43 +5,38 @@ expressions are evaluated on real constructed graphs (measuring ``γ`` and
 ``λ`` from the graph), the improvement factor is reported, and — going beyond
 the paper's purely analytic table — the *measured* uniform-AG stopping time is
 put next to both bounds to show which one tracks reality more closely.
+
+The measured column runs through the scenario layer: one
+:class:`~repro.scenarios.ScenarioSpec` per topology family, batched runner.
 """
 
 from __future__ import annotations
 
 from _utils import PEDANTIC, report
 from repro.analysis import table2_rows
-from repro.experiments.parallel import run_trials_batched
-from repro.core import SimulationConfig
-from repro.gf import GF
-from repro.graphs import binary_tree_graph, grid_graph, line_graph
-from repro.protocols import AlgebraicGossip
-from repro.rlnc import Generation
-from repro.experiments import all_to_all_placement
+from repro.scenarios import ScenarioSpec, default_scenario_config
 
 N = 32
 TRIALS = 3
-_BUILDERS = {"line": line_graph, "grid": grid_graph, "binary_tree": binary_tree_graph}
 
 
-def _measure(builder):
-    graph = builder(N)
-    n = graph.number_of_nodes()
-    config = SimulationConfig(max_rounds=500_000)
-
-    def factory(g, rng):
-        generation = Generation.random(GF(16), n, 2, rng)
-        return AlgebraicGossip(g, generation, all_to_all_placement(g), config, rng)
-
-    # The batched runner is bit-identical to run_trials (same trial streams)
-    # but sweeps all trials through the vectorised decoder grid at once.
-    return run_trials_batched(graph, factory, config, trials=TRIALS, seed=606).mean
+def _measure(topology: str) -> float:
+    spec = ScenarioSpec(
+        topology=topology,
+        n=N,
+        config=default_scenario_config(max_rounds=500_000),
+        trials=TRIALS,
+        seed=606,
+    )
+    # The batched runner is bit-identical to the sequential path (same trial
+    # streams) but sweeps all trials through the vectorised decoder grid.
+    return spec.materialize().run().mean
 
 
 def _run():
     rows = table2_rows(N, N)
     for row in rows:
-        row["measured_rounds"] = round(_measure(_BUILDERS[row["graph"]]), 1)
+        row["measured_rounds"] = round(_measure(row["graph"]), 1)
     return rows
 
 

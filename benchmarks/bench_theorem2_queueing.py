@@ -15,9 +15,7 @@ import numpy as np
 
 from _utils import PEDANTIC, report
 from repro.core import SimulationConfig, TimeModel
-from repro.gf import GF
-from repro.graphs import bfs_spanning_tree, grid_graph, ring_graph
-from repro.protocols import AlgebraicGossip
+from repro.graphs import bfs_spanning_tree, grid_graph
 from repro.queueing import (
     QueueingReduction,
     TreeQueueNetwork,
@@ -25,8 +23,7 @@ from repro.queueing import (
     line_tree,
     open_line_stopping_time,
 )
-from repro.rlnc import Generation
-from repro.experiments import all_to_all_placement, run_trials_batched
+from repro.scenarios import ScenarioSpec
 
 QUEUE_TRIALS = 400
 GOSSIP_TRIALS = 3
@@ -75,19 +72,23 @@ def _dominance_chain():
 def _reduction_vs_gossip():
     """Theorem 1 end to end: queueing prediction vs measured gossip rounds."""
     rows = []
-    for name, graph in [("ring(16)", ring_graph(16)), ("grid(16)", grid_graph(16))]:
-        n = graph.number_of_nodes()
-        config = SimulationConfig(field_size=2, time_model=TimeModel.SYNCHRONOUS,
-                                  max_rounds=500_000)
-
-        def factory(g, rng):
-            generation = Generation.random(GF(2), n, 2, rng)
-            return AlgebraicGossip(g, generation, all_to_all_placement(g), config, rng)
-
+    for name, topology in [("ring(16)", "ring"), ("grid(16)", "grid")]:
+        scenario = ScenarioSpec(
+            topology=topology,
+            n=16,
+            config=SimulationConfig(
+                field_size=2, payload_length=2,
+                time_model=TimeModel.SYNCHRONOUS, max_rounds=500_000,
+            ),
+            trials=GOSSIP_TRIALS,
+            seed=708,
+        ).materialize()
         # The gossip side of the reduction is rank-only, so the batched
         # runner applies; the measured rounds match the sequential path.
-        stats = run_trials_batched(graph, factory, config, trials=GOSSIP_TRIALS, seed=708)
-        reduction = QueueingReduction(graph, k=n, q=2, time_model=TimeModel.SYNCHRONOUS)
+        stats = scenario.run()
+        reduction = QueueingReduction(
+            scenario.graph, k=scenario.n, q=2, time_model=TimeModel.SYNCHRONOUS
+        )
         prediction = reduction.predict_for_root(0, np.random.default_rng(709), trials=200)
         rows.append(
             {

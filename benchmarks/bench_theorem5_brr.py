@@ -5,6 +5,11 @@ Sweeps ``n`` on several topologies and reports the broadcast completion time
 bound for the synchronous model and a constant·n bound for the asynchronous
 model.  Also checks Lemma 2 structurally: the degree sum along any shortest
 path from the root is at most ``3n``.
+
+Standalone tree construction is a first-class scenario protocol
+(``protocol="spanning_tree"``), so the workloads here are plain
+:class:`~repro.scenarios.ScenarioSpec` values; the tree depth comes out of
+each trial's result metadata.
 """
 
 from __future__ import annotations
@@ -15,41 +20,47 @@ import pytest
 from _utils import PEDANTIC, report
 from repro.analysis import brr_broadcast_upper_bound
 from repro.core import SimulationConfig, TimeModel
-from repro.gossip import run_spanning_tree_batch
-from repro.graphs import (
-    barbell_graph,
-    build_topology,
-    max_shortest_path_degree_sum,
-)
-from repro.protocols import RoundRobinBroadcastTree
+from repro.experiments.parallel import measure_protocol_batched
+from repro.graphs import max_shortest_path_degree_sum
+from repro.scenarios import ScenarioSpec
 
 TRIALS = 3
 TOPOLOGIES = ["line", "grid", "barbell", "complete", "binary_tree"]
 N = 32
 
 
+def _brr_spec(topology: str, n: int, time_model: TimeModel) -> ScenarioSpec:
+    return ScenarioSpec(
+        topology=topology,
+        n=n,
+        protocol="spanning_tree",
+        spanning_tree="brr",
+        config=SimulationConfig(time_model=time_model, max_rounds=100 * n),
+        trials=TRIALS,
+        seed=0,
+    )
+
+
 def _broadcast_rows(time_model: TimeModel):
     rows = []
     for topology in TOPOLOGIES:
-        graph = build_topology(topology, N)
-        n = graph.number_of_nodes()
-        config = SimulationConfig(time_model=time_model, max_rounds=100 * n)
+        scenario = _brr_spec(topology, N, time_model).materialize()
         # All trials in one lockstep batch engine — bit-identical to running
         # GossipEngine per trial with the same generators, just faster.
-        rngs = [np.random.default_rng(seed) for seed in range(TRIALS)]
-        protocols = [RoundRobinBroadcastTree(graph, root=0, rng=rng) for rng in rngs]
-        results = run_spanning_tree_batch(graph, protocols, config, rngs)
+        results = measure_protocol_batched(scenario)
         rounds = [result.rounds for result in results]
-        depths = [protocol.current_tree().depth for protocol in protocols]
+        depths = [result.metadata["tree_depth"] for result in results]
         rows.append(
             {
                 "graph": topology,
-                "n": n,
+                "n": scenario.n,
                 "mean_rounds": round(float(np.mean(rounds)), 1),
                 "max_rounds": int(np.max(rounds)),
                 "tree_depth": int(np.max(depths)),
-                "bound_3n": int(brr_broadcast_upper_bound(n)),
-                "lemma2_path_degree_sum": max_shortest_path_degree_sum(graph, source=0),
+                "bound_3n": int(brr_broadcast_upper_bound(scenario.n)),
+                "lemma2_path_degree_sum": max_shortest_path_degree_sum(
+                    scenario.graph, source=scenario.root
+                ),
             }
         )
     return rows
@@ -78,17 +89,14 @@ def test_theorem5_brr_scaling_with_n(benchmark):
     def _run():
         rows = []
         for n in (16, 32, 48, 64):
-            graph = barbell_graph(n)
-            config = SimulationConfig(max_rounds=100 * n)
-            rngs = [np.random.default_rng(seed) for seed in range(TRIALS)]
-            protocols = [RoundRobinBroadcastTree(graph, root=0, rng=rng) for rng in rngs]
-            rounds = [r.rounds for r in run_spanning_tree_batch(graph, protocols, config, rngs)]
+            scenario = _brr_spec("barbell", n, TimeModel.SYNCHRONOUS).materialize()
+            rounds = [r.rounds for r in measure_protocol_batched(scenario)]
             rows.append(
                 {
-                    "n": graph.number_of_nodes(),
+                    "n": scenario.n,
                     "mean_rounds": round(float(np.mean(rounds)), 1),
-                    "bound_3n": int(brr_broadcast_upper_bound(graph.number_of_nodes())),
-                    "ratio": round(float(np.mean(rounds)) / (3 * graph.number_of_nodes()), 3),
+                    "bound_3n": int(brr_broadcast_upper_bound(scenario.n)),
+                    "ratio": round(float(np.mean(rounds)) / (3 * scenario.n), 3),
                 }
             )
         return rows

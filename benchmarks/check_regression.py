@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Fail if the latest committed batch speedups drop below their floors.
+
+Reads every machine-readable perf record ``benchmarks/output/BENCH_*.json``
+(written by full-size ``make bench-json`` runs and committed to the
+repository) and checks the recorded ``speedup`` against the record's own
+asserted floor (``min_speedup``, default 5.0).  Run it standalone or via
+``make bench-check``::
+
+    python benchmarks/check_regression.py
+
+Exit code 0 when every record holds, 1 on any regression or when no records
+exist (an empty perf trajectory is itself a regression).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+DEFAULT_FLOOR = 5.0
+
+
+def main() -> int:
+    records = sorted(OUTPUT_DIR.glob("BENCH_*.json"))
+    if not records:
+        print(f"error: no BENCH_*.json records under {OUTPUT_DIR}", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in records:
+        # A broken record is itself a failure to report, not a crash: keep
+        # checking the remaining records so the output isolates the bad file.
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+            speedup = float(record["speedup"])
+            floor = float(record.get("min_speedup", DEFAULT_FLOOR))
+        except Exception as error:  # noqa: BLE001
+            print(f"{path.name}: unreadable record ({type(error).__name__}: {error}) FAIL")
+            failures += 1
+            continue
+        ok = speedup >= floor
+        status = "ok" if ok else "REGRESSION"
+        print(
+            f"{path.name}: speedup {speedup:.2f}x (floor {floor:.1f}x, "
+            f"n={record.get('n')}, trials={record.get('trials')}, "
+            f"rev={str(record.get('git_rev'))[:12]}) {status}"
+        )
+        failures += not ok
+    if failures:
+        print(f"error: {failures} perf record(s) below their floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,12 @@ The package is organised bottom-up:
   gossip→queueing reduction of Theorem 1,
 * :mod:`repro.analysis` — bound evaluators, stopping-time statistics, sweeps
   and the Table 1 / Table 2 generators,
-* :mod:`repro.experiments` — named experiments, workloads and reporting.
+* :mod:`repro.scenarios` — the declarative scenario layer: one immutable,
+  JSON-round-trippable :class:`ScenarioSpec` (topology + placement +
+  protocol + config + trial plan, including churn schedules and
+  heterogeneous activation rates) drives the CLI, the sweep runner and the
+  benchmarks with identical seeded results,
+* :mod:`repro.experiments` — named experiments, trial runners and reporting.
 
 Quickstart
 ----------
@@ -61,6 +66,15 @@ from .protocols import (
     UniformBroadcastTree,
 )
 from .rlnc import BatchDecoder, CodedPacket, Generation, RlncDecoder, RlncEncoder
+from .scenarios import (
+    SCENARIOS,
+    MaterializedScenario,
+    ScenarioSpec,
+    get_scenario,
+    register_scenario,
+    scenario_case,
+    scenario_names,
+)
 
 __version__ = "1.0.0"
 
@@ -96,6 +110,13 @@ __all__ = [
     "Generation",
     "RlncDecoder",
     "RlncEncoder",
+    "SCENARIOS",
+    "MaterializedScenario",
+    "ScenarioSpec",
+    "get_scenario",
+    "register_scenario",
+    "scenario_case",
+    "scenario_names",
     "quick_run",
 ]
 

@@ -1,11 +1,19 @@
 """Parameter sweeps: measure how the stopping time scales with ``n`` or ``k``.
 
-A sweep is a list of *cases*.  Each case knows how to build its graph, its
-protocol factory and its configuration; the sweep runner executes every case
-for a number of independent trials and returns one :class:`SweepPoint` per
-case, carrying the stopping-time statistics plus whatever bound values the
-case attaches.  The benchmark harness prints sweeps as the rows/series of the
+A sweep is a list of *cases*.  Each case carries its graph, its protocol
+factory and its configuration; the sweep runner executes every case for a
+number of independent trials and returns one :class:`SweepPoint` per case,
+carrying the stopping-time statistics plus whatever bound values the case
+attaches.  The benchmark harness prints sweeps as the rows/series of the
 paper's tables.
+
+Cases are built from the scenario layer: a
+:class:`~repro.scenarios.ScenarioSpec` materialises into a :class:`SweepCase`
+(via :func:`repro.scenarios.scenario_case` or
+:meth:`~repro.scenarios.MaterializedScenario.sweep_case`), and
+:func:`run_sweep` also accepts bare specs and materialises them itself.  A
+case built that way keeps a reference to its spec, so sweep results stay
+traceable to a declarative, serialisable description.
 """
 
 from __future__ import annotations
@@ -42,6 +50,11 @@ class SweepCase:
     bounds:
         Named bound values evaluated for this case (e.g.
         ``{"theorem1": 412.0, "lower": 36.0}``); copied into the sweep point.
+    spec:
+        The :class:`~repro.scenarios.ScenarioSpec` this case was materialised
+        from, when it came through the scenario layer (``None`` for
+        hand-assembled cases).  Typed loosely because the scenario layer
+        sits above this module in the dependency stack.
     """
 
     label: str
@@ -50,6 +63,7 @@ class SweepCase:
     protocol_factory: ProtocolFactory
     config: SimulationConfig
     bounds: dict[str, float] = field(default_factory=dict)
+    spec: Any = None
 
 
 @dataclass(frozen=True)
@@ -83,7 +97,7 @@ class SweepPoint:
 
 
 def run_sweep(
-    cases: Sequence[SweepCase],
+    cases: Sequence[Any],
     *,
     trials: int = 5,
     seed: int = 0,
@@ -94,6 +108,16 @@ def run_sweep(
 
     Parameters
     ----------
+    cases:
+        :class:`SweepCase` values, or bare
+        :class:`~repro.scenarios.ScenarioSpec` values (materialised here
+        with their default label/value/bounds) — mixing both is fine.
+        A sweep is a *comparative* experiment, so the sweep-level ``trials``
+        and ``seed`` below apply uniformly to every case; a bare spec's own
+        trial/seed plan is deliberately not consulted here (it drives the
+        single-scenario runners:
+        :meth:`~repro.scenarios.MaterializedScenario.run`,
+        :func:`~repro.experiments.parallel.run_trials_batched`, the CLI).
     trials, seed:
         Monte Carlo repetitions per case and the root seed; case ``i`` uses
         ``seed + i * 10_007`` so cases stay independent.
@@ -112,9 +136,15 @@ def run_sweep(
         raise AnalysisError("run_sweep requires at least one case")
     if jobs is not None and jobs < 1:
         raise AnalysisError(f"jobs must be positive, got {jobs}")
-    # Imported lazily: repro.experiments imports this module at package
-    # import time, so a top-level import would be circular.
+    # Imported lazily: these modules sit above repro.analysis in the
+    # dependency stack, so top-level imports would be circular.
     from ..experiments.parallel import run_trials_batched, run_trials_parallel
+    from ..scenarios.spec import ScenarioSpec
+
+    cases = [
+        case.materialize().sweep_case() if isinstance(case, ScenarioSpec) else case
+        for case in cases
+    ]
 
     points: list[SweepPoint] = []
     for index, case in enumerate(cases):

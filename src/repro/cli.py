@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows (run ``python -m repro <cmd>
+Four subcommands cover the common workflows (run ``python -m repro <cmd>
 --help`` for the full flag reference of each):
 
 ``run``
@@ -12,6 +12,20 @@ Three subcommands cover the common workflows (run ``python -m repro <cmd>
         python -m repro run --topology barbell --n 24 --protocol tag --seed 3
         python -m repro run --topology complete --n 64 --trials 32 --jobs 4
 
+    The flags assemble a :class:`~repro.scenarios.ScenarioSpec` under the
+    hood; ``--show-spec`` prints it as JSON instead of running, and the
+    printed document can be fed back through ``scenario run --file``.
+
+``scenario``
+    The named-scenario registry: ``list`` the built-in scenarios, ``show``
+    one as JSON, ``run`` one by name (or any spec from a JSON file), and
+    ``check`` that every registered scenario materialises and completes::
+
+        python -m repro scenario list
+        python -m repro scenario show churn/ring-crash-restart --json
+        python -m repro scenario run tag/brr-barbell --trials 8
+        python -m repro scenario run --file my_scenario.json
+
 ``experiment``
     Execute a registered experiment (E1–E8 or a user-registered one) and
     print its table::
@@ -20,9 +34,9 @@ Three subcommands cover the common workflows (run ``python -m repro <cmd>
 
 ``tables``
     Print the analytic reproduction of the paper's Table 1 and Table 2 for a
-    chosen ``n`` and ``k``::
+    chosen ``n`` and ``k``, on any set of registered topologies::
 
-        python -m repro tables --n 32 --k 16
+        python -m repro tables --n 32 --k 16 --topologies ring grid barbell
 
 Every stochastic quantity derives from ``--seed`` (see
 :mod:`repro.core.rng`), so any reported number can be reproduced exactly by
@@ -34,24 +48,26 @@ process that executes it.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from .analysis import format_table, table1_rows, table2_rows
 from .core import TimeModel
 from .errors import ReproError
-from .experiments import (
-    EXPERIMENTS,
-    default_config,
-    run_experiment,
-    run_trials_parallel,
-    tag_case,
-    uniform_ag_case,
-)
+from .experiments import EXPERIMENTS, default_config, run_experiment
 from .graphs import TOPOLOGY_BUILDERS, build_topology
-from . import quick_run
+from .scenarios import SCENARIOS, ScenarioSpec, get_scenario, scenario_names
 
 __all__ = ["main", "build_parser"]
+
+#: CLI protocol choice → (spec protocol, spanning tree).
+_PROTOCOL_CHOICES = {
+    "uniform": ("uniform", "brr"),
+    "tag": ("tag", "brr"),
+    "tag-is": ("tag", "is"),
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -94,7 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of source messages (default: n, i.e. all-to-all)",
     )
     run_parser.add_argument(
-        "--protocol", choices=["uniform", "tag", "tag-is"], default="uniform",
+        "--protocol", choices=sorted(_PROTOCOL_CHOICES), default="uniform",
         help=(
             "uniform = uniform algebraic gossip (Theorem 1); tag = TAG with "
             "the round-robin broadcast tree (Theorem 4); tag-is = TAG with "
@@ -136,6 +152,92 @@ def build_parser() -> argparse.ArgumentParser:
             "GossipProcess.batch_strategy); --no-batch forces the sequential "
             "scalar engine (same results, slower)"
         ),
+    )
+    run_parser.add_argument(
+        "--show-spec", action="store_true",
+        help=(
+            "print the ScenarioSpec JSON these flags describe instead of "
+            "running it (feed it back through 'scenario run --file')"
+        ),
+    )
+
+    scenario_parser = subparsers.add_parser(
+        "scenario",
+        help="list, inspect, run and smoke-check declarative scenarios",
+        description=(
+            "The scenario registry: every workload in this repository is a "
+            "declarative, JSON-round-trippable ScenarioSpec (topology, size, "
+            "placement, protocol, config — including churn schedules and "
+            "heterogeneous activation rates — plus the trial/seed plan).  "
+            "The same spec drives the CLI, run_sweep and the benchmarks "
+            "with identical seeded results."
+        ),
+    )
+    scenario_actions = scenario_parser.add_subparsers(dest="action", required=True)
+
+    scenario_actions.add_parser(
+        "list", help="list every registered scenario with its description"
+    )
+
+    show_parser = scenario_actions.add_parser(
+        "show", help="print one registered scenario"
+    )
+    # Resolved dynamically via get_scenario (not argparse choices) so
+    # user-registered scenarios work here exactly as in 'scenario run'.
+    show_parser.add_argument("name", metavar="NAME",
+                             help="registered scenario name (see 'scenario list')")
+    show_parser.add_argument(
+        "--json", action="store_true",
+        help="print the spec as its canonical JSON document (default: summary)",
+    )
+
+    scenario_run_parser = scenario_actions.add_parser(
+        "run",
+        help="run a registered scenario (or a spec from a JSON file)",
+        description=(
+            "Runs the scenario's Monte Carlo plan and prints the "
+            "stopping-time statistics.  --trials/--seed override the spec's "
+            "plan; --jobs/--batch control execution only (results are "
+            "identical for any value)."
+        ),
+    )
+    scenario_run_parser.add_argument(
+        "name", nargs="?", default=None, metavar="NAME",
+        help="registered scenario name (omit when using --file)",
+    )
+    scenario_run_parser.add_argument(
+        "--file", type=Path, default=None,
+        help="load the ScenarioSpec from a JSON document instead",
+    )
+    scenario_run_parser.add_argument(
+        "--trials", type=int, default=None,
+        help="override the spec's trial count",
+    )
+    scenario_run_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the spec's root seed",
+    )
+    scenario_run_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: run in-process)",
+    )
+    scenario_run_parser.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=True,
+        help="use the scenario's vectorised batch engine when it declares one",
+    )
+
+    check_parser = scenario_actions.add_parser(
+        "check",
+        help="materialise and smoke-run every registered scenario",
+        description=(
+            "The registry health check behind 'make scenarios-check': every "
+            "registered scenario is materialised and run for a single trial; "
+            "any failure is reported and the exit code is non-zero."
+        ),
+    )
+    check_parser.add_argument(
+        "--trials", type=int, default=1,
+        help="trials per scenario (default: %(default)s)",
     )
 
     experiment_parser = subparsers.add_parser(
@@ -189,52 +291,175 @@ def build_parser() -> argparse.ArgumentParser:
         "--k", type=int, default=16,
         help="number of messages to evaluate the bounds at (default: %(default)s)",
     )
+    tables_parser.add_argument(
+        "--topologies", nargs="+", choices=sorted(TOPOLOGY_BUILDERS),
+        default=["ring", "grid", "complete"], metavar="TOPOLOGY",
+        help=(
+            "topology families Table 1 measures D and Δ on — any registered "
+            "builder (default: %(default)s)"
+        ),
+    )
 
     return parser
 
 
+def _spec_from_run_args(args: argparse.Namespace) -> ScenarioSpec:
+    """Assemble the declarative scenario the ``run`` flags describe."""
+    protocol, spanning_tree = _PROTOCOL_CHOICES[args.protocol]
+    return ScenarioSpec(
+        topology=args.topology,
+        n=args.n,
+        k=args.k,
+        protocol=protocol,
+        spanning_tree=spanning_tree,
+        config=default_config(
+            time_model=TimeModel(args.time_model),
+            field_size=args.field_size,
+            max_rounds=200_000,
+        ),
+        trials=args.trials,
+        seed=args.seed,
+    )
+
+
+def _run_scenario_spec(
+    spec: ScenarioSpec,
+    *,
+    trials: int | None,
+    seed: int | None,
+    jobs: int | None,
+    batch: bool,
+    title_prefix: str | None = None,
+) -> int:
+    """Shared execution path of ``run`` and ``scenario run``.
+
+    A ``seed`` override replaces the spec's root seed *before*
+    materialisation, so every stochastic ingredient — including a
+    ``random`` placement — re-derives from it.
+    """
+    if seed is not None:
+        spec = spec.replace(seed=seed)
+    scenario = spec.materialize()
+    # Title uses the materialised n/k (topology rounding / k clamping applied).
+    title = spec.name or f"{scenario.spec.topology}(n={scenario.n}, k={scenario.k})"
+    if title_prefix is not None:
+        title = f"{title_prefix} {scenario.spec.topology}(n={scenario.n}, k={scenario.k})"
+    trials = spec.trials if trials is None else trials
+    if trials < 1:
+        print(f"error: --trials must be positive, got {trials}", file=sys.stderr)
+        return 2
+    if trials == 1:
+        result = scenario.run_single()
+        print(f"{title}: {result.summary()}")
+        for key, value in sorted(result.metadata.items()):
+            print(f"  {key}: {value}")
+        return 0 if result.completed else 1
+    stats = scenario.run(trials=trials, jobs=jobs, batch=batch)
+    print(f"{title}: {stats.summary()}")
+    return 0
+
+
 def _command_run(args: argparse.Namespace) -> int:
+    spec = _spec_from_run_args(args)
+    if args.show_spec:
+        print(spec.to_json())
+        return 0
+    return _run_scenario_spec(
+        spec,
+        trials=args.trials,
+        seed=None,  # args.seed is already the spec's root seed
+        jobs=1 if args.jobs is None else args.jobs,
+        batch=args.batch,
+        title_prefix=f"{args.protocol} on",
+    )
+
+
+def _command_scenario(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        rows = [
+            {"name": name, "description": SCENARIOS[name].description or "-"}
+            for name in scenario_names()
+        ]
+        print(format_table(rows, title=f"Registered scenarios ({len(rows)})"))
+        return 0
+    if args.action == "show":
+        spec = get_scenario(args.name)
+        if args.json:
+            print(spec.to_json())
+            return 0
+        print(f"{spec.name}: {spec.description}")
+        protocol = spec.protocol
+        if protocol in ("tag", "spanning_tree"):
+            protocol += f" ({spec.spanning_tree})"
+        print(f"  workload:  {protocol} on {spec.topology}(n={spec.n}), "
+              f"k={spec.k if spec.k is not None else 'n'}, placement={spec.placement}")
+        print(f"  config:    {spec.config.time_model.value}, q={spec.config.field_size}, "
+              f"loss={spec.config.loss_probability}")
+        if spec.config.churn:
+            mode = "reset" if spec.config.churn_reset else "pause"
+            print(f"  churn:     {len(spec.config.churn)} event(s), {mode} mode")
+        activation = dict(spec.activation)
+        kind = activation.pop("kind", "uniform")
+        if kind != "uniform":
+            suffix = f" {activation}" if activation else ""
+            print(f"  activation: {kind}{suffix}")
+        print(f"  plan:      {spec.trials} trial(s), seed {spec.seed}")
+        print("  (use --json for the exact machine-readable spec)")
+        return 0
+    if args.action == "run":
+        if (args.name is None) == (args.file is None):
+            print("error: give exactly one of NAME or --file", file=sys.stderr)
+            return 2
+        if args.file is not None:
+            try:
+                spec = ScenarioSpec.from_json(args.file.read_text(encoding="utf-8"))
+            except OSError as error:
+                print(f"error: cannot read {args.file}: {error}", file=sys.stderr)
+                return 2
+            except json.JSONDecodeError as error:
+                print(f"error: {args.file} is not valid JSON: {error}", file=sys.stderr)
+                return 2
+        else:
+            spec = get_scenario(args.name)
+        return _run_scenario_spec(
+            spec,
+            trials=args.trials,
+            seed=args.seed,
+            jobs=args.jobs,
+            batch=args.batch,
+        )
+    return _command_scenario_check(args)
+
+
+def _command_scenario_check(args: argparse.Namespace) -> int:
+    """Materialise and smoke-run every registered scenario."""
     if args.trials < 1:
         print(f"error: --trials must be positive, got {args.trials}", file=sys.stderr)
         return 2
-    if args.trials > 1:
-        return _command_run_trials(args)
-    result = quick_run(
-        args.topology,
-        n=args.n,
-        k=args.k,
-        protocol=args.protocol,
-        time_model=TimeModel(args.time_model),
-        field_size=args.field_size,
-        seed=args.seed,
-    )
-    print(f"{args.protocol} on {args.topology}: {result.summary()}")
-    for key, value in sorted(result.metadata.items()):
-        print(f"  {key}: {value}")
-    return 0 if result.completed else 1
-
-
-def _command_run_trials(args: argparse.Namespace) -> int:
-    """Monte Carlo mode of ``run``: aggregate statistics over seeded trials."""
-    config = default_config(
-        time_model=TimeModel(args.time_model),
-        field_size=args.field_size,
-        max_rounds=200_000,
-    )
-    k = args.k if args.k is not None else args.n
-    if args.protocol == "uniform":
-        case = uniform_ag_case(args.topology, args.n, k, config=config)
-    elif args.protocol == "tag":
-        case = tag_case(args.topology, args.n, k, spanning_tree="brr", config=config)
-    else:
-        case = tag_case(args.topology, args.n, k, spanning_tree="is", config=config)
-    stats = run_trials_parallel(
-        case.graph, case.protocol_factory, case.config,
-        trials=args.trials, seed=args.seed,
-        jobs=1 if args.jobs is None else args.jobs,
-        batch=args.batch,
-    )
-    print(f"{args.protocol} on {case.label}: {stats.summary()}")
+    failures = 0
+    rows = []
+    for name in scenario_names():
+        spec = SCENARIOS[name]
+        try:
+            stats = spec.materialize().run(trials=args.trials)
+            rows.append(
+                {"scenario": name, "mean_rounds": round(stats.mean, 1), "status": "ok"}
+            )
+        # Broad on purpose: the registry is open to user scenarios, and the
+        # check's job is to isolate the broken entry, not die on it.
+        except Exception as error:  # noqa: BLE001
+            failures += 1
+            rows.append(
+                {
+                    "scenario": name,
+                    "mean_rounds": float("nan"),
+                    "status": f"FAIL: {type(error).__name__}: {error}",
+                }
+            )
+    print(format_table(rows, title=f"Scenario check ({len(rows)} scenarios, trials={args.trials})"))
+    if failures:
+        print(f"error: {failures} scenario(s) failed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -252,11 +477,9 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
 
 def _command_tables(args: argparse.Namespace) -> int:
-    graphs = {
-        "ring": build_topology("ring", args.n),
-        "grid": build_topology("grid", args.n),
-        "complete": build_topology("complete", args.n),
-    }
+    # The topology set comes from the registry (via the parser choices), not
+    # a hardcoded dict: any registered builder works.
+    graphs = {name: build_topology(name, args.n) for name in args.topologies}
     print(format_table(table1_rows(args.n, args.k, graphs=graphs),
                        title=f"Table 1 (analytic), n={args.n}, k={args.k}"))
     print()
@@ -271,6 +494,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "run": _command_run,
+        "scenario": _command_scenario,
         "experiment": _command_experiment,
         "tables": _command_tables,
     }

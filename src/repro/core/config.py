@@ -7,22 +7,31 @@ The paper studies gossip protocols along several orthogonal axes:
 * the **gossip action** — ``PUSH``, ``PULL`` or ``EXCHANGE``,
 * the **communication model** — uniform neighbour selection, round-robin
   (quasirandom) selection, or a fixed partner (used on spanning trees),
-* the **field size** ``q`` used by random linear network coding, and
-* the **payload length** ``r`` (number of field symbols per source message).
+* the **field size** ``q`` used by random linear network coding,
+* the **payload length** ``r`` (number of field symbols per source message),
+* **node churn** — crash/restart schedules during which a node neither wakes
+  nor receives (an extension beyond the paper's static-network model), and
+* **heterogeneous activation rates** — non-uniform node clocks in the
+  asynchronous time model, the natural generalisation of the paper's
+  uniform-timeslot model.
 
 :class:`SimulationConfig` gathers those knobs in a single immutable object so
-experiments, tests and benchmarks describe a run with one value.
+experiments, tests and benchmarks describe a run with one value.  The object
+round-trips through :meth:`~SimulationConfig.to_dict` /
+:meth:`~SimulationConfig.from_dict`, which is what lets a
+:class:`~repro.scenarios.ScenarioSpec` serialise a whole scenario to JSON.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import math
+from dataclasses import dataclass, field, fields, replace
 from enum import Enum
 from typing import Any
 
 from ..errors import ConfigurationError
 
-__all__ = ["TimeModel", "GossipAction", "SimulationConfig"]
+__all__ = ["TimeModel", "GossipAction", "ChurnEvent", "SimulationConfig"]
 
 
 class TimeModel(str, Enum):
@@ -49,6 +58,12 @@ class GossipAction(str, Enum):
     #: Both directions; this is the variant the paper analyses.
     EXCHANGE = "exchange"
 
+
+#: One crash/restart interval: ``(node, down_round, up_round)``.  The node is
+#: down for every round ``r`` with ``down_round <= r < up_round`` (rounds are
+#: 1-indexed, as reported by the engines): it does not wake up, and any
+#: transmission whose sender or receiver is down is dropped before delivery.
+ChurnEvent = tuple[int, int, int]
 
 _VALID_FIELD_SIZES = frozenset({2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27,
                                 29, 31, 32, 37, 41, 43, 47, 49, 53, 59, 61, 64, 67,
@@ -90,6 +105,28 @@ class SimulationConfig:
         slow down under loss, they never deliver wrong data.
     seed:
         Root seed; all randomness in the run derives from it.
+    churn:
+        Crash/restart schedule: a tuple of :data:`ChurnEvent` triples
+        ``(node, down_round, up_round)``.  While down, a node never wakes up
+        and every transmission it would send or receive is dropped (counted
+        separately from random loss).  Empty (the default) means the paper's
+        static network.
+    churn_reset:
+        When ``True`` a crashing node additionally *loses its protocol
+        state*: the engine calls
+        :meth:`~repro.gossip.engine.GossipProcess.on_crash` at the start of
+        the crash round, and protocols that support it reset the node to its
+        initial knowledge.  Reset churn always runs on the sequential engine
+        (the batch fast path declines it — see
+        :func:`repro.gossip.batch.batch_supports_config`).
+    activation_rates:
+        Relative activation rates per node for the **asynchronous** time
+        model, aligned with ``sorted(graph.nodes())``.  Empty (the default)
+        means the paper's uniform node clocks; otherwise each timeslot
+        activates node ``i`` with probability proportional to
+        ``activation_rates[i]`` (restricted to currently-alive nodes under
+        churn).  Rejected under the synchronous model, where every node
+        wakes exactly once per round by definition.
     extra:
         Free-form protocol-specific options (e.g. the spanning-tree protocol
         to plug into TAG).  Stored as a tuple of key/value pairs to keep the
@@ -104,6 +141,9 @@ class SimulationConfig:
     allow_incomplete: bool = False
     loss_probability: float = 0.0
     seed: int = 0
+    churn: tuple[ChurnEvent, ...] = ()
+    churn_reset: bool = False
+    activation_rates: tuple[float, ...] = ()
     extra: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
@@ -131,6 +171,66 @@ class SimulationConfig:
             object.__setattr__(self, "time_model", TimeModel(self.time_model))
         if not isinstance(self.action, GossipAction):
             object.__setattr__(self, "action", GossipAction(self.action))
+        # Normalise the sequence-valued fields to tuples so configs built
+        # from JSON lists hash and compare like hand-written ones; malformed
+        # shapes surface as ConfigurationError, not a raw unpack/cast error.
+        try:
+            object.__setattr__(
+                self,
+                "churn",
+                tuple((int(n), int(down), int(up)) for n, down, up in self.churn),
+            )
+        except (TypeError, ValueError) as error:
+            raise ConfigurationError(
+                f"churn must be a sequence of (node, down_round, up_round) "
+                f"triples: {error}"
+            ) from None
+        try:
+            object.__setattr__(
+                self, "activation_rates", tuple(float(r) for r in self.activation_rates)
+            )
+        except (TypeError, ValueError) as error:
+            raise ConfigurationError(
+                f"activation_rates must be a sequence of numbers: {error}"
+            ) from None
+        # Key-sorted, deduplicated, and with JSON-decoded lists restored to
+        # tuples, exactly as with_options / from_dict produce it — so
+        # construction order and a JSON round trip can break neither config
+        # equality nor hashability.
+        object.__setattr__(
+            self,
+            "extra",
+            tuple(
+                sorted(
+                    (key, tuple(value) if isinstance(value, list) else value)
+                    for key, value in dict(self.extra).items()
+                )
+            ),
+        )
+        for node, down_round, up_round in self.churn:
+            if node < 0:
+                raise ConfigurationError(f"churn node must be non-negative, got {node}")
+            if down_round < 1:
+                raise ConfigurationError(
+                    f"churn down_round must be >= 1 (rounds are 1-indexed), got {down_round}"
+                )
+            if up_round <= down_round:
+                raise ConfigurationError(
+                    f"churn up_round must exceed down_round, got "
+                    f"({node}, {down_round}, {up_round})"
+                )
+        if self.churn_reset and not self.churn:
+            raise ConfigurationError("churn_reset requires a non-empty churn schedule")
+        for rate in self.activation_rates:
+            if not rate > 0.0 or not math.isfinite(rate):
+                raise ConfigurationError(
+                    f"activation rates must be positive and finite, got {rate}"
+                )
+        if self.activation_rates and self.time_model is TimeModel.SYNCHRONOUS:
+            raise ConfigurationError(
+                "activation_rates apply to the asynchronous time model only "
+                "(every node wakes once per round in the synchronous model)"
+            )
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -139,6 +239,16 @@ class SimulationConfig:
     def is_synchronous(self) -> bool:
         """``True`` when the run uses synchronous rounds."""
         return self.time_model is TimeModel.SYNCHRONOUS
+
+    @property
+    def has_churn(self) -> bool:
+        """``True`` when a crash/restart schedule is configured."""
+        return bool(self.churn)
+
+    @property
+    def has_heterogeneous_rates(self) -> bool:
+        """``True`` when non-uniform asynchronous activation rates are set."""
+        return bool(self.activation_rates)
 
     @property
     def options(self) -> dict[str, Any]:
@@ -154,3 +264,47 @@ class SimulationConfig:
     def replace(self, **changes: Any) -> "SimulationConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Serialisation (JSON round trip for the scenario layer)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON representation; inverse of :meth:`from_dict`.
+
+        Defaulted fields are omitted so serialised scenarios stay small and
+        forward-compatible (a field added later with a default still loads).
+        """
+        defaults = SimulationConfig()
+        data: dict[str, Any] = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if value == getattr(defaults, spec_field.name):
+                continue
+            if isinstance(value, Enum):
+                value = value.value
+            elif spec_field.name == "churn":
+                value = [list(event) for event in value]
+            elif spec_field.name == "activation_rates":
+                value = list(value)
+            elif spec_field.name == "extra":
+                value = dict(value)
+            data[spec_field.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: "dict[str, Any]") -> "SimulationConfig":
+        """Rebuild a config from :meth:`to_dict` output (extra keys rejected)."""
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown SimulationConfig fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        kwargs = dict(data)
+        if "churn" in kwargs:
+            kwargs["churn"] = tuple(tuple(event) for event in kwargs["churn"])
+        if "activation_rates" in kwargs:
+            kwargs["activation_rates"] = tuple(kwargs["activation_rates"])
+        if "extra" in kwargs:
+            kwargs["extra"] = tuple(sorted(dict(kwargs["extra"]).items()))
+        return cls(**kwargs)

@@ -21,6 +21,13 @@ Reproducibility is anchored in :mod:`repro.core.rng`: trial ``i`` always uses
 the generator ``derive_rng(seed, f"trial-{i}")`` regardless of which runner
 executes it, which worker process it lands on, or how trials are chunked — so
 all three runners return the same results trial-for-trial.
+
+Every runner also accepts a :class:`~repro.scenarios.ScenarioSpec` (or an
+already-materialised :class:`~repro.scenarios.MaterializedScenario`) in place
+of the ``(graph, protocol_factory, config)`` triple; the spec's trial/seed
+plan fills in ``trials``/``seed`` when those are not given explicitly::
+
+    run_trials_batched(get_scenario("tag/brr-barbell"))
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from typing import Sequence
+from typing import Any, Sequence
 
 import networkx as nx
 
@@ -37,13 +44,15 @@ from ..core.results import RunResult, StoppingTimeStats, aggregate_results
 from ..core.rng import derive_rng
 from ..errors import AnalysisError
 from ..analysis.stopping_time import ProtocolFactory
-from ..gossip.engine import GossipEngine
+from ..gossip.batch import batch_supports_config
+from ..gossip.engine import BatchRunner, GossipEngine
 
 __all__ = [
     "measure_protocol_batched",
     "run_trials_batched",
     "measure_protocol_parallel",
     "run_trials_parallel",
+    "scenario_batch_strategy",
     "default_jobs",
 ]
 
@@ -51,6 +60,71 @@ __all__ = [
 def default_jobs() -> int:
     """Worker-process count used when ``jobs`` is not given: the CPU count."""
     return max(1, os.cpu_count() or 1)
+
+
+def _resolve_workload(
+    graph: Any,
+    protocol_factory: ProtocolFactory | None,
+    config: SimulationConfig | None,
+    trials: int | None,
+    seed: int | None,
+) -> tuple[nx.Graph, ProtocolFactory, SimulationConfig, int, int]:
+    """Normalise the ``(graph | spec | materialized, ...)`` calling conventions."""
+    # Imported lazily: the scenario layer imports repro.analysis, which is a
+    # sibling of this package in the stack.
+    from ..scenarios.spec import MaterializedScenario, ScenarioSpec
+
+    if isinstance(graph, ScenarioSpec):
+        graph = graph.materialize()
+    if isinstance(graph, MaterializedScenario):
+        if protocol_factory is not None or config is not None:
+            raise AnalysisError(
+                "pass either a scenario or an explicit "
+                "(graph, protocol_factory, config) triple, not both — a "
+                "scenario always runs its own factory and config"
+            )
+        scenario = graph
+        graph = scenario.graph
+        protocol_factory = scenario.protocol_factory
+        config = scenario.config
+        trials = scenario.spec.trials if trials is None else trials
+        seed = scenario.spec.seed if seed is None else seed
+    if protocol_factory is None or config is None:
+        raise AnalysisError(
+            "protocol_factory and config are required unless a ScenarioSpec "
+            "(or MaterializedScenario) is passed in place of the graph"
+        )
+    return graph, protocol_factory, config, 5 if trials is None else trials, 0 if seed is None else seed
+
+
+def scenario_batch_strategy(scenario: Any) -> BatchRunner | None:
+    """The batch executor a materialised scenario's trials would use, or ``None``.
+
+    Combines the protocol's own declaration
+    (:meth:`~repro.gossip.engine.GossipProcess.batch_strategy`, probed on a
+    throwaway process) with the config support matrix
+    (:func:`~repro.gossip.batch.batch_supports_config`): ``None`` means the
+    trial runners will use the sequential engine.
+    """
+    if not batch_supports_config(scenario.config):
+        return None
+    from ..gossip.batch import run_rank_only_batch
+    from ..gossip.batch_tag import run_spanning_tree_batch, run_tag_batch
+    from ..scenarios.spec import SpanningTreeFactory, TagFactory, UniformGossipFactory
+
+    # The scenario factories produce exactly the protocols these runners
+    # support (every TREE_PROTOCOLS entry has a batch tree state), so the
+    # strategy is known from the factory type without building a process.
+    factory = scenario.protocol_factory
+    if isinstance(factory, UniformGossipFactory):
+        return run_rank_only_batch
+    if isinstance(factory, TagFactory):
+        return run_tag_batch
+    if isinstance(factory, SpanningTreeFactory):
+        return run_spanning_tree_batch
+    # Unknown factory (user-supplied): probe a throwaway process.
+    probe = scenario.build_process(derive_rng(scenario.spec.seed, "strategy-probe"))
+    return probe.batch_strategy()
 
 
 def _measure_trial_indices(
@@ -68,6 +142,10 @@ def _measure_trial_indices(
     scalar decoders in memory.  Only the batch engine — which needs every
     trial's state simultaneously by design — constructs all processes.
     """
+    # Reset-mode churn is outside the batch support matrix: fall back to the
+    # scalar engine explicitly rather than letting a strategy fail mid-run.
+    if not batch_supports_config(config):
+        batch = False
     rngs = [derive_rng(seed, f"trial-{index}") for index in trial_indices]
     results: list[RunResult] = []
     remaining = list(rngs)
@@ -86,12 +164,12 @@ def _measure_trial_indices(
 
 
 def measure_protocol_batched(
-    graph: nx.Graph,
-    protocol_factory: ProtocolFactory,
-    config: SimulationConfig,
+    graph: "nx.Graph | Any",
+    protocol_factory: ProtocolFactory | None = None,
+    config: SimulationConfig | None = None,
     *,
-    trials: int = 5,
-    seed: int = 0,
+    trials: int | None = None,
+    seed: int | None = None,
     trial_indices: Sequence[int] | None = None,
 ) -> list[RunResult]:
     """Run seeded trials through the vectorised batch engine when possible.
@@ -103,10 +181,17 @@ def measure_protocol_batched(
     run sequentially with the same generators.  Either way the returned
     results are identical to :func:`~repro.analysis.stopping_time.measure_protocol`.
 
+    ``graph`` may also be a :class:`~repro.scenarios.ScenarioSpec` or
+    :class:`~repro.scenarios.MaterializedScenario`, in which case the
+    factory/config (and, when not given, the trial/seed plan) come from it.
+
     ``trial_indices`` selects which trial streams to run (default
     ``0 .. trials-1``); the parallel runner uses it to assign disjoint chunks
     to workers without perturbing any trial's randomness.
     """
+    graph, protocol_factory, config, trials, seed = _resolve_workload(
+        graph, protocol_factory, config, trials, seed
+    )
     if trial_indices is None:
         if trials < 1:
             raise AnalysisError(f"trials must be positive, got {trials}")
@@ -117,14 +202,18 @@ def measure_protocol_batched(
 
 
 def run_trials_batched(
-    graph: nx.Graph,
-    protocol_factory: ProtocolFactory,
-    config: SimulationConfig,
+    graph: "nx.Graph | Any",
+    protocol_factory: ProtocolFactory | None = None,
+    config: SimulationConfig | None = None,
     *,
-    trials: int = 5,
-    seed: int = 0,
+    trials: int | None = None,
+    seed: int | None = None,
 ) -> StoppingTimeStats:
-    """Like :func:`~repro.analysis.stopping_time.run_trials`, batched."""
+    """Like :func:`~repro.analysis.stopping_time.run_trials`, batched.
+
+    Also accepts a :class:`~repro.scenarios.ScenarioSpec` in place of the
+    ``(graph, protocol_factory, config)`` triple.
+    """
     return aggregate_results(
         measure_protocol_batched(
             graph, protocol_factory, config, trials=trials, seed=seed
@@ -154,16 +243,19 @@ def _chunks(indices: Sequence[int], jobs: int) -> list[list[int]]:
 
 
 def measure_protocol_parallel(
-    graph: nx.Graph,
-    protocol_factory: ProtocolFactory,
-    config: SimulationConfig,
+    graph: "nx.Graph | Any",
+    protocol_factory: ProtocolFactory | None = None,
+    config: SimulationConfig | None = None,
     *,
-    trials: int = 5,
-    seed: int = 0,
+    trials: int | None = None,
+    seed: int | None = None,
     jobs: int | None = None,
     batch: bool = True,
 ) -> list[RunResult]:
     """Run seeded trials across worker processes; results stay in trial order.
+
+    ``graph`` may also be a :class:`~repro.scenarios.ScenarioSpec` or
+    :class:`~repro.scenarios.MaterializedScenario`.
 
     The trial set is split into contiguous chunks, one worker process per
     chunk, and every worker runs its indices — through the batch engine when
@@ -177,6 +269,9 @@ def measure_protocol_parallel(
     Falls back to in-process execution when only one job is needed or when
     the factory cannot be pickled (e.g. a locally defined closure).
     """
+    graph, protocol_factory, config, trials, seed = _resolve_workload(
+        graph, protocol_factory, config, trials, seed
+    )
     if trials < 1:
         raise AnalysisError(f"trials must be positive, got {trials}")
     jobs = default_jobs() if jobs is None else jobs
@@ -209,16 +304,20 @@ def measure_protocol_parallel(
 
 
 def run_trials_parallel(
-    graph: nx.Graph,
-    protocol_factory: ProtocolFactory,
-    config: SimulationConfig,
+    graph: "nx.Graph | Any",
+    protocol_factory: ProtocolFactory | None = None,
+    config: SimulationConfig | None = None,
     *,
-    trials: int = 5,
-    seed: int = 0,
+    trials: int | None = None,
+    seed: int | None = None,
     jobs: int | None = None,
     batch: bool = True,
 ) -> StoppingTimeStats:
-    """Like :func:`~repro.analysis.stopping_time.run_trials`, multi-process."""
+    """Like :func:`~repro.analysis.stopping_time.run_trials`, multi-process.
+
+    Also accepts a :class:`~repro.scenarios.ScenarioSpec` in place of the
+    ``(graph, protocol_factory, config)`` triple.
+    """
     return aggregate_results(
         measure_protocol_parallel(
             graph, protocol_factory, config,

@@ -9,6 +9,12 @@ numbers reported in documentation and the numbers produced by
 An :class:`Experiment` bundles a builder function returning the list of
 :class:`~repro.analysis.sweep.SweepCase` objects to run; :func:`run_experiment`
 executes it and returns the sweep points plus the scaling table rows.
+
+Case construction is entirely delegated to the scenario layer
+(:mod:`repro.scenarios`): :func:`uniform_ag_case` and :func:`tag_case` are
+thin wrappers that assemble a :class:`~repro.scenarios.ScenarioSpec` and
+materialise it, so every experiment case is traceable to a declarative,
+JSON-serialisable spec (``case.spec``).
 """
 
 from __future__ import annotations
@@ -16,35 +22,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-import networkx as nx
-import numpy as np
-
-from ..analysis.bounds import (
-    brr_broadcast_upper_bound,
-    constant_degree_upper_bound,
-    k_dissemination_lower_bound,
-    lemma1_tree_gossip_bound,
-    tag_upper_bound,
-    tag_with_brr_upper_bound,
-    uniform_ag_upper_bound,
-)
 from ..analysis.sweep import SweepCase, SweepPoint, run_sweep, scaling_table
-from ..core.config import GossipAction, SimulationConfig, TimeModel
+from ..core.config import SimulationConfig, TimeModel
 from ..errors import AnalysisError
-from ..graphs.properties import diameter as graph_diameter
-from ..graphs.properties import max_degree as graph_max_degree
-from ..graphs.topologies import build_topology
-from ..protocols.algebraic_gossip import AlgebraicGossip
-from ..protocols.is_protocol import ISSpanningTree
-from ..protocols.spanning_tree_protocols import (
-    BfsOracleTree,
-    RoundRobinBroadcastTree,
-    UniformBroadcastTree,
+from ..scenarios.spec import (
+    ScenarioSpec,
+    SpanningTreeFactory,
+    TagFactory,
+    UniformGossipFactory,
+    default_scenario_config,
 )
-from ..protocols.tag import TagProtocol
-from ..rlnc.message import Generation
-from ..gf import GF
-from .workloads import Placement, all_to_all_placement, spread_placement
 
 __all__ = [
     "Experiment",
@@ -69,79 +56,12 @@ def default_config(
     allow_incomplete: bool = False,
 ) -> SimulationConfig:
     """The configuration experiments share unless they say otherwise."""
-    return SimulationConfig(
-        field_size=field_size,
-        payload_length=2,
+    return default_scenario_config(
         time_model=time_model,
-        action=GossipAction.EXCHANGE,
+        field_size=field_size,
         max_rounds=max_rounds,
         allow_incomplete=allow_incomplete,
     )
-
-
-def _placement_for(graph: nx.Graph, k: int) -> Placement:
-    n = graph.number_of_nodes()
-    if k >= n:
-        return all_to_all_placement(graph)
-    return spread_placement(graph, k)
-
-
-@dataclass
-class UniformGossipFactory:
-    """Picklable protocol factory for uniform algebraic gossip cases.
-
-    Sweep cases used to capture their parameters in closures, which cannot
-    cross a process boundary; a plain dataclass with ``__call__`` gives
-    :func:`repro.experiments.parallel.run_trials_parallel` something it can
-    ship to worker processes.  The field object itself is not stored — only
-    its order — so pickles stay small and each worker reuses its own cached
-    :func:`~repro.gf.GF` tables.
-    """
-
-    field_order: int
-    k: int
-    payload_length: int
-    placement: Placement
-    config: SimulationConfig
-
-    def __call__(self, graph: nx.Graph, rng: np.random.Generator) -> AlgebraicGossip:
-        generation = Generation.random(
-            GF(self.field_order), self.k, self.payload_length, rng
-        )
-        return AlgebraicGossip(graph, generation, self.placement, self.config, rng)
-
-
-@dataclass
-class SpanningTreeFactory:
-    """Picklable factory for the spanning-tree protocol TAG composes with."""
-
-    protocol: str
-    root: int
-
-    def __call__(self, graph: nx.Graph, rng: np.random.Generator):
-        if self.protocol == "is":
-            return ISSpanningTree(graph, rng)
-        return _TREE_PROTOCOLS[self.protocol](graph, self.root, rng)
-
-
-@dataclass
-class TagFactory:
-    """Picklable protocol factory for TAG sweep cases."""
-
-    field_order: int
-    k: int
-    payload_length: int
-    placement: Placement
-    config: SimulationConfig
-    spanning_tree: SpanningTreeFactory
-
-    def __call__(self, graph: nx.Graph, rng: np.random.Generator) -> TagProtocol:
-        generation = Generation.random(
-            GF(self.field_order), self.k, self.payload_length, rng
-        )
-        return TagProtocol(
-            graph, generation, self.placement, self.config, rng, self.spanning_tree
-        )
 
 
 def uniform_ag_case(
@@ -155,44 +75,19 @@ def uniform_ag_case(
     **topology_kwargs: Any,
 ) -> SweepCase:
     """Build a sweep case running uniform algebraic gossip on a named topology."""
-    graph = build_topology(topology, n, **topology_kwargs)
-    actual_n = graph.number_of_nodes()
-    actual_k = min(k, actual_n)
-    cfg = config if config is not None else default_config()
-    placement = _placement_for(graph, actual_k)
-    diameter_value = graph_diameter(graph)
-    delta = graph_max_degree(graph)
-    factory = UniformGossipFactory(
-        field_order=cfg.field_size,
-        k=actual_k,
-        payload_length=cfg.payload_length,
-        placement=placement,
-        config=cfg,
+    spec = ScenarioSpec(
+        topology=topology,
+        n=n,
+        k=k,
+        protocol="uniform",
+        topology_params=topology_kwargs,
+        config=config if config is not None else default_config(),
     )
-    bounds = {
-        "theorem1": uniform_ag_upper_bound(actual_n, actual_k, diameter_value, delta),
-        "lower": k_dissemination_lower_bound(
-            actual_k, diameter_value, synchronous=cfg.is_synchronous
-        ),
-    }
-    if delta <= 8:
-        bounds["theorem3"] = constant_degree_upper_bound(actual_k, diameter_value)
-    return SweepCase(
-        label=label or f"{topology}(n={actual_n}, k={actual_k})",
-        value=float(value if value is not None else actual_n),
-        graph=graph,
-        protocol_factory=factory,
-        config=cfg,
-        bounds=bounds,
+    scenario = spec.materialize()
+    return scenario.sweep_case(
+        label=label or f"{topology}(n={scenario.n}, k={scenario.k})",
+        value=value if value is not None else scenario.n,
     )
-
-
-_TREE_PROTOCOLS = {
-    "brr": RoundRobinBroadcastTree,
-    "uniform_broadcast": UniformBroadcastTree,
-    "bfs_oracle": BfsOracleTree,
-    "is": ISSpanningTree,
-}
 
 
 def tag_case(
@@ -207,43 +102,26 @@ def tag_case(
     **topology_kwargs: Any,
 ) -> SweepCase:
     """Build a sweep case running TAG with the named spanning-tree protocol."""
-    if spanning_tree not in _TREE_PROTOCOLS:
+    from ..scenarios.spec import TREE_PROTOCOLS
+
+    if spanning_tree not in TREE_PROTOCOLS:
         raise AnalysisError(
             f"unknown spanning tree protocol {spanning_tree!r}; "
-            f"known: {sorted(_TREE_PROTOCOLS)}"
+            f"known: {sorted(TREE_PROTOCOLS)}"
         )
-    graph = build_topology(topology, n, **topology_kwargs)
-    actual_n = graph.number_of_nodes()
-    actual_k = min(k, actual_n)
-    cfg = config if config is not None else default_config()
-    placement = _placement_for(graph, actual_k)
-    diameter_value = graph_diameter(graph)
-    root = sorted(graph.nodes())[0]
-    factory = TagFactory(
-        field_order=cfg.field_size,
-        k=actual_k,
-        payload_length=cfg.payload_length,
-        placement=placement,
-        config=cfg,
-        spanning_tree=SpanningTreeFactory(protocol=spanning_tree, root=root),
+    spec = ScenarioSpec(
+        topology=topology,
+        n=n,
+        k=k,
+        protocol="tag",
+        spanning_tree=spanning_tree,
+        topology_params=topology_kwargs,
+        config=config if config is not None else default_config(),
     )
-    bounds = {
-        "theorem4": tag_upper_bound(
-            actual_n, actual_k, 2 * diameter_value, brr_broadcast_upper_bound(actual_n)
-        ),
-        "lower": k_dissemination_lower_bound(
-            actual_k, diameter_value, synchronous=cfg.is_synchronous
-        ),
-        "tag_brr": tag_with_brr_upper_bound(actual_n, actual_k),
-        "lemma1": lemma1_tree_gossip_bound(actual_n, actual_k, diameter_value),
-    }
-    return SweepCase(
-        label=label or f"TAG+{spanning_tree} {topology}(n={actual_n}, k={actual_k})",
-        value=float(value if value is not None else actual_n),
-        graph=graph,
-        protocol_factory=factory,
-        config=cfg,
-        bounds=bounds,
+    scenario = spec.materialize()
+    return scenario.sweep_case(
+        label=label or f"TAG+{spanning_tree} {topology}(n={scenario.n}, k={scenario.k})",
+        value=value if value is not None else scenario.n,
     )
 
 

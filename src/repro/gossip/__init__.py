@@ -1,6 +1,11 @@
 """Gossip machinery: communication models, the engines and event traces."""
 
-from .batch import BatchEngineCore, BatchGossipEngine, run_rank_only_batch
+from .batch import (
+    BatchEngineCore,
+    BatchGossipEngine,
+    batch_supports_config,
+    run_rank_only_batch,
+)
 from .batch_tag import (
     BatchSpanningTreeEngine,
     BatchTagEngine,
@@ -13,12 +18,15 @@ from .communication import (
     RoundRobinSelector,
     UniformSelector,
 )
+from .dynamics import NodeDynamics
 from .engine import BatchRunner, GossipEngine, GossipProcess, Transmission, run_protocol
 from .trace import EventTrace, GossipEvent
 
 __all__ = [
     "BatchEngineCore",
     "BatchGossipEngine",
+    "batch_supports_config",
+    "NodeDynamics",
     "BatchSpanningTreeEngine",
     "BatchTagEngine",
     "BatchRunner",

@@ -61,14 +61,38 @@ from ..core.config import GossipAction, SimulationConfig, TimeModel
 from ..core.results import RunResult
 from ..errors import SimulationError
 from ..rlnc.batch import BatchDecoder
+from .dynamics import NodeDynamics
 from .engine import GossipProcess
 
-__all__ = ["BatchEngineCore", "RlncBatchMixin", "BatchGossipEngine", "run_rank_only_batch"]
+__all__ = [
+    "BatchEngineCore",
+    "RlncBatchMixin",
+    "BatchGossipEngine",
+    "run_rank_only_batch",
+    "batch_supports_config",
+]
 
 #: Delivery entries produced by ``_wakeup``: coded rows go to the vectorised
-#: decoder grid, tree payloads are applied per trial by the subclass.
+#: decoder grid (``("r", receiver_problem, row, sender_pos)``), tree payloads
+#: (``("s", receiver_pos, sender_pos, payload)``) are applied per trial by
+#: the subclass.
 _RLNC = "r"
 _STP = "s"
+
+
+def batch_supports_config(config: SimulationConfig) -> bool:
+    """Can the batch fast path honour every knob of ``config``?
+
+    The batch engines support pause-mode churn (both time models) and
+    heterogeneous activation rates (asynchronous) — the trial runners fall
+    back to the sequential :class:`~repro.gossip.engine.GossipEngine` only
+    for **reset-mode churn**, where a crash wipes a node's decoder: the
+    shared :class:`~repro.rlnc.batch.BatchDecoder` grid stores the canonical
+    RREF rows of all trials in fixed arrays and cannot cheaply un-absorb one
+    problem's rows mid-run.  See the support matrix in
+    ``docs/architecture.md``.
+    """
+    return not config.churn_reset
 
 
 class BatchEngineCore:
@@ -128,6 +152,13 @@ class BatchEngineCore:
         self._completion_rounds: list[dict[int, int]] = [{} for _ in range(self.trials)]
         self._noted = np.zeros((self.trials, self._n), dtype=bool)
         self._loss_probability = config.loss_probability
+        if not batch_supports_config(config):
+            raise SimulationError(
+                "the batch fast path does not support churn_reset; "
+                "run GossipEngine per trial instead"
+            )
+        self._dynamics = NodeDynamics(config, self._nodes)
+        self._churn_dropped = np.zeros(self.trials, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Protocol hooks
@@ -178,6 +209,10 @@ class BatchEngineCore:
             metadata = self._trial_metadata(t)
             if self._loss_probability > 0:
                 metadata.setdefault("dropped_messages", int(self._dropped_messages[t]))
+            if self._dynamics.has_churn:
+                metadata.setdefault(
+                    "churn_dropped_messages", int(self._churn_dropped[t])
+                )
             results.append(
                 RunResult(
                     rounds=int(rounds[t]),
@@ -210,9 +245,14 @@ class BatchEngineCore:
         round_index = 0
         while active and round_index < self.config.max_rounds:
             round_index += 1
-            pending = self._collect_wakeups(active)
+            down = (
+                self._dynamics.down_mask(round_index)
+                if self._dynamics.has_churn
+                else None
+            )
+            pending = self._collect_wakeups(active, down)
             self._timeslots[active] += self._n
-            self._deliver_in_waves(pending)
+            self._deliver_in_waves(pending, down)
             still_active = []
             for t in active:
                 self._note_completions(t, round_index)
@@ -241,15 +281,30 @@ class BatchEngineCore:
             active = survivors
             if not active:
                 break
+            # Active trials advance in lockstep (every survivor gains one
+            # slot per iteration), so the round of the slot about to be
+            # played — and hence the down mask, memoised per round inside
+            # NodeDynamics — is shared across them.
+            round_now = int(self._timeslots[active[0]]) // self._n + 1
+            down = (
+                self._dynamics.down_mask(round_now)
+                if self._dynamics.has_churn
+                else None
+            )
             waves: tuple[list, list] = ([], [])
             for t in active:
                 rng = self.rngs[t]
-                pos = int(rng.integers(0, self._n))
+                pos = self._dynamics.choose_wakeup(rng, round_now, down)
                 self._timeslots[t] += 1
+                if pos is None:
+                    continue
                 entries = self._wakeup(t, pos)
                 wave_slot = 0
                 for entry in entries:
                     self._messages_sent[t] += 1
+                    if self._churn_drops(t, entry, down):
+                        self._churn_dropped[t] += 1
+                        continue
                     if (
                         self._loss_probability > 0
                         and rng.random() < self._loss_probability
@@ -289,29 +344,54 @@ class BatchEngineCore:
                 self._completion_rounds[t][self._nodes[pos]] = round_index
             self._noted[t][newly] = True
 
-    def _collect_wakeups(self, active: list[int]) -> list[tuple[int, list[tuple]]]:
+    def _churn_drops(
+        self, t: int, entry: tuple, down: np.ndarray | None
+    ) -> bool:
+        """Does churn kill this delivery entry (sender or receiver down)?"""
+        if down is None:
+            return False
+        if entry[0] == _RLNC:
+            receiver_pos = entry[1] - t * self._n
+            sender_pos = entry[3]
+        else:
+            receiver_pos, sender_pos = entry[1], entry[2]
+        return bool(down[receiver_pos] or down[sender_pos])
+
+    def _collect_wakeups(
+        self, active: list[int], down: np.ndarray | None = None
+    ) -> list[tuple[int, list[tuple]]]:
         """Synchronous wakeup phase: all draws, no decoder/tree mutation."""
         pending: list[tuple[int, list[tuple]]] = []
         for t in active:
             trial_pending: list[tuple] = []
             for pos in range(self._n):
+                if down is not None and down[pos]:
+                    continue
                 trial_pending.extend(self._wakeup(t, pos))
             pending.append((t, trial_pending))
         return pending
 
-    def _deliver_in_waves(self, pending: list[tuple[int, list[tuple]]]) -> None:
+    def _deliver_in_waves(
+        self,
+        pending: list[tuple[int, list[tuple]]],
+        down: np.ndarray | None = None,
+    ) -> None:
         """End-of-round delivery: loss draws in pending order, then waves.
 
         Tree payloads are applied inline (per-trial scalar state, no random
         draws); coded rows are queued per receiving decoder — FIFO order per
         receiver preserved — and absorbed in depth waves, one vectorised
-        sweep per depth.
+        sweep per depth.  Churn drops (down sender or receiver) happen before
+        the loss draw, exactly as in the sequential engine.
         """
         queues: dict[int, list[tuple[np.ndarray, int]]] = {}
         for t, trial_pending in pending:
             rng = self.rngs[t]
             for entry in trial_pending:
                 self._messages_sent[t] += 1
+                if self._churn_drops(t, entry, down):
+                    self._churn_dropped[t] += 1
+                    continue
                 if (
                     self._loss_probability > 0
                     and rng.random() < self._loss_probability
@@ -453,9 +533,9 @@ class BatchGossipEngine(RlncBatchMixin, BatchEngineCore):
     def _wakeup(self, t: int, pos: int) -> list[tuple]:
         """Replicate ``AlgebraicGossip.on_wakeup`` against the batch state.
 
-        Returns ``("r", receiver_problem, coefficient_row)`` entries; the
-        random draws (partner, then sender coefficients in PUSH-then-PULL
-        order) match the scalar protocol call-for-call.
+        Returns ``("r", receiver_problem, coefficient_row, sender_pos)``
+        entries; the random draws (partner, then sender coefficients in
+        PUSH-then-PULL order) match the scalar protocol call-for-call.
         """
         rng = self.rngs[t]
         process = self.processes[t]
@@ -468,11 +548,11 @@ class BatchGossipEngine(RlncBatchMixin, BatchEngineCore):
         if self.action in (GossipAction.PUSH, GossipAction.EXCHANGE):
             row = self._encode(base + pos, rng)
             if row is not None:
-                entries.append((_RLNC, base + ppos, row))
+                entries.append((_RLNC, base + ppos, row, pos))
         if self.action in (GossipAction.PULL, GossipAction.EXCHANGE):
             row = self._encode(base + ppos, rng)
             if row is not None:
-                entries.append((_RLNC, base + pos, row))
+                entries.append((_RLNC, base + pos, row, ppos))
         return entries
 
     def _trial_metadata(self, t: int) -> dict[str, Any]:

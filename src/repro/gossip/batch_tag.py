@@ -406,10 +406,10 @@ class BatchTagEngine(RlncBatchMixin, BatchEngineCore):
         entries: list[tuple] = []
         row = self._encode(base + pos, rng)
         if row is not None:
-            entries.append((_RLNC, base + parent, row))
+            entries.append((_RLNC, base + parent, row, pos))
         row = self._encode(base + parent, rng)
         if row is not None:
-            entries.append((_RLNC, base + pos, row))
+            entries.append((_RLNC, base + pos, row, parent))
         return entries
 
     def _apply_tree_payload(

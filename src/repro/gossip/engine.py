@@ -34,6 +34,7 @@ import numpy as np
 from ..core.config import SimulationConfig, TimeModel
 from ..core.results import RunResult
 from ..errors import SimulationError
+from .dynamics import NodeDynamics
 from .trace import EventTrace, GossipEvent
 
 __all__ = [
@@ -113,6 +114,19 @@ class GossipProcess(ABC):
         without slowing down runs that do not need it.
         """
 
+    def on_crash(self, node: int) -> None:
+        """Reset ``node``'s state at the start of a reset-churn crash.
+
+        Only called when the configuration sets ``churn_reset``; pause-mode
+        churn (the default) never touches protocol state, so the base
+        implementation refuses — protocols must opt in explicitly by
+        overriding (``AlgebraicGossip`` and ``TagProtocol`` reset the node's
+        decoder to its initial knowledge).
+        """
+        raise SimulationError(
+            f"{type(self).__name__} does not support churn_reset"
+        )
+
     def supports_rank_only_batch(self) -> bool:
         """Opt in to the vectorised rank-only batch fast path.
 
@@ -173,12 +187,16 @@ class GossipEngine:
         self.trace = trace
         self._nodes = sorted(graph.nodes())
         self._n = len(self._nodes)
+        self._pos = {node: pos for pos, node in enumerate(self._nodes)}
         self._messages_sent = 0
         self._helpful_messages = 0
         self._dropped_messages = 0
+        self._churn_dropped = 0
         self._timeslot = 0
         self._completion_rounds: dict[int, int] = {}
         self._loss_probability = config.loss_probability
+        self._dynamics = NodeDynamics(config, self._nodes)
+        self._last_crash_round = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -197,6 +215,8 @@ class GossipEngine:
         metadata = dict(self.process.metadata())
         if self._loss_probability > 0:
             metadata.setdefault("dropped_messages", self._dropped_messages)
+        if self._dynamics.has_churn:
+            metadata.setdefault("churn_dropped_messages", self._churn_dropped)
         return RunResult(
             rounds=rounds,
             timeslots=self._timeslot,
@@ -215,17 +235,22 @@ class GossipEngine:
     def _run_synchronous(self) -> int:
         round_index = 0
         self._note_completions(round_index)
+        dynamics = self._dynamics
         while not self.process.is_complete():
             if round_index >= self.config.max_rounds:
                 return round_index
             round_index += 1
+            self._process_crashes(round_index)
+            down = dynamics.down_mask(round_index) if dynamics.has_churn else None
             pending: list[Transmission] = []
-            for node in self._nodes:
+            for pos, node in enumerate(self._nodes):
+                if down is not None and down[pos]:
+                    continue
                 pending.extend(self.process.on_wakeup(node, self.rng))
             self._timeslot += self._n
             # Deliveries become visible only now: end of the round.
             for transmission in pending:
-                self._deliver(transmission, round_index)
+                self._deliver(transmission, round_index, down)
             self._note_completions(round_index)
             self.process.on_round_end(round_index)
         return round_index
@@ -234,14 +259,21 @@ class GossipEngine:
         round_index = 0
         self._note_completions(round_index)
         max_timeslots = self.config.max_rounds * self._n
+        dynamics = self._dynamics
         while not self.process.is_complete():
             if self._timeslot >= max_timeslots:
                 return round_index
-            node = self._nodes[int(self.rng.integers(0, self._n))]
+            # Round of the slot about to be played (== ceil((t+1)/n)).
+            round_now = self._timeslot // self._n + 1
+            self._process_crashes(round_now)
+            # Memoised per round inside NodeDynamics, so per-slot is cheap.
+            down = dynamics.down_mask(round_now) if dynamics.has_churn else None
+            pos = dynamics.choose_wakeup(self.rng, round_now, down)
             self._timeslot += 1
-            round_index = -(-self._timeslot // self._n)  # ceil division
-            for transmission in self.process.on_wakeup(node, self.rng):
-                self._deliver(transmission, round_index)
+            round_index = round_now
+            if pos is not None:
+                for transmission in self.process.on_wakeup(self._nodes[pos], self.rng):
+                    self._deliver(transmission, round_index, down)
             self._note_completions(round_index)
             if self._timeslot % self._n == 0:
                 self.process.on_round_end(round_index)
@@ -250,8 +282,34 @@ class GossipEngine:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _deliver(self, transmission: Transmission, round_index: int) -> None:
+    def _process_crashes(self, round_index: int) -> None:
+        """Fire :meth:`GossipProcess.on_crash` for crashes starting by ``round_index``."""
+        if not self._dynamics.reset_on_crash:
+            return
+        while self._last_crash_round < round_index:
+            self._last_crash_round += 1
+            for pos in self._dynamics.crashes_at(self._last_crash_round):
+                node = self._nodes[pos]
+                self.process.on_crash(node)
+                # The wipe un-completes the node; its completion round must
+                # be re-earned, not inherited from before the crash.
+                self._completion_rounds.pop(node, None)
+
+    def _deliver(
+        self,
+        transmission: Transmission,
+        round_index: int,
+        down: np.ndarray | None = None,
+    ) -> None:
         self._messages_sent += 1
+        # A down endpoint kills the transmission before it enters the lossy
+        # channel, so churn consumes no loss-randomness.
+        if down is not None and (
+            down[self._pos[transmission.sender]]
+            or down[self._pos[transmission.receiver]]
+        ):
+            self._churn_dropped += 1
+            return
         if self._loss_probability > 0 and self.rng.random() < self._loss_probability:
             self._dropped_messages += 1
             return

@@ -19,35 +19,54 @@ the paper mentions explicitly:
 from __future__ import annotations
 
 import math
+from typing import Callable, TypeVar
 
 import networkx as nx
 import numpy as np
 
 from ..errors import TopologyError
 
+#: Non-builder exports; every ``@register_topology``-decorated builder is
+#: appended automatically, so ``__all__`` and :data:`TOPOLOGY_BUILDERS` can
+#: never drift from the generators actually defined in this module.
 __all__ = [
-    "line_graph",
-    "ring_graph",
-    "grid_graph",
-    "torus_graph",
-    "complete_graph",
-    "star_graph",
-    "binary_tree_graph",
-    "hypercube_graph",
-    "barbell_graph",
-    "dumbbell_graph",
-    "clique_chain_graph",
-    "lollipop_graph",
-    "caterpillar_graph",
-    "small_world_graph",
-    "star_of_cliques_graph",
-    "random_regular_graph",
-    "erdos_renyi_graph",
-    "expander_graph",
     "two_dimensional_side",
     "TOPOLOGY_BUILDERS",
+    "register_topology",
     "build_topology",
 ]
+
+#: Registry mapping a topology name to its builder.  Populated exclusively by
+#: :func:`register_topology`; experiment definitions, scenario specs and
+#: benchmark parameterisations refer to topologies by these names.
+TOPOLOGY_BUILDERS: dict[str, Callable[..., nx.Graph]] = {}
+
+_Builder = TypeVar("_Builder", bound=Callable[..., nx.Graph])
+
+
+def register_topology(name: str) -> Callable[[_Builder], _Builder]:
+    """Register a topology builder under ``name`` (and export it).
+
+    Every generator in this module carries this decorator; it is also the
+    extension point for user-defined families::
+
+        @register_topology("my_mesh")
+        def my_mesh_graph(n: int) -> nx.Graph: ...
+
+    Builders must return a connected, undirected graph whose nodes are the
+    consecutive integers ``0 .. n-1`` (``tests/test_graphs_topologies.py``
+    asserts this for every registered entry).
+    """
+
+    def decorate(builder: _Builder) -> _Builder:
+        if name in TOPOLOGY_BUILDERS:
+            raise TopologyError(f"topology {name!r} is already registered")
+        TOPOLOGY_BUILDERS[name] = builder
+        if builder.__name__ not in __all__:
+            __all__.append(builder.__name__)
+        return builder
+
+    return decorate
 
 
 def _relabel_consecutive(graph: nx.Graph) -> nx.Graph:
@@ -61,12 +80,14 @@ def _check_size(n: int, minimum: int = 2) -> None:
         raise TopologyError(f"topology requires at least {minimum} nodes, got {n}")
 
 
+@register_topology("line")
 def line_graph(n: int) -> nx.Graph:
     """Path graph on ``n`` nodes: maximum degree 2, diameter ``n - 1``."""
     _check_size(n)
     return nx.path_graph(n)
 
 
+@register_topology("ring")
 def ring_graph(n: int) -> nx.Graph:
     """Cycle on ``n`` nodes: maximum degree 2, diameter ``floor(n / 2)``."""
     _check_size(n, minimum=3)
@@ -78,6 +99,7 @@ def two_dimensional_side(n: int) -> int:
     return max(2, int(math.isqrt(n)))
 
 
+@register_topology("grid")
 def grid_graph(n: int) -> nx.Graph:
     """Two-dimensional square grid with approximately ``n`` nodes.
 
@@ -90,6 +112,7 @@ def grid_graph(n: int) -> nx.Graph:
     return _relabel_consecutive(graph)
 
 
+@register_topology("torus")
 def torus_graph(n: int) -> nx.Graph:
     """Two-dimensional torus (grid with wraparound): 4-regular."""
     _check_size(n, minimum=9)
@@ -98,18 +121,21 @@ def torus_graph(n: int) -> nx.Graph:
     return _relabel_consecutive(graph)
 
 
+@register_topology("complete")
 def complete_graph(n: int) -> nx.Graph:
     """Complete graph ``K_n``: diameter 1, maximum degree ``n - 1``."""
     _check_size(n)
     return nx.complete_graph(n)
 
 
+@register_topology("star")
 def star_graph(n: int) -> nx.Graph:
     """Star: one hub connected to ``n - 1`` leaves (diameter 2, Δ = n - 1)."""
     _check_size(n)
     return nx.star_graph(n - 1)
 
 
+@register_topology("binary_tree")
 def binary_tree_graph(n: int) -> nx.Graph:
     """Complete-ish binary tree on exactly ``n`` nodes.
 
@@ -126,6 +152,7 @@ def binary_tree_graph(n: int) -> nx.Graph:
     return graph
 
 
+@register_topology("hypercube")
 def hypercube_graph(n: int) -> nx.Graph:
     """Boolean hypercube with ``2 ** round(log2 n)`` nodes (degree = log2 n)."""
     _check_size(n, minimum=4)
@@ -134,6 +161,7 @@ def hypercube_graph(n: int) -> nx.Graph:
     return _relabel_consecutive(graph)
 
 
+@register_topology("barbell")
 def barbell_graph(n: int) -> nx.Graph:
     """The paper's barbell: two cliques of ``n // 2`` nodes joined by one edge.
 
@@ -161,6 +189,7 @@ def barbell_graph(n: int) -> nx.Graph:
     return graph
 
 
+@register_topology("dumbbell")
 def dumbbell_graph(n: int, path_length: int = 2) -> nx.Graph:
     """Two cliques connected by a path of ``path_length`` intermediate nodes."""
     _check_size(n, minimum=6)
@@ -191,6 +220,7 @@ def dumbbell_graph(n: int, path_length: int = 2) -> nx.Graph:
     return graph
 
 
+@register_topology("clique_chain")
 def clique_chain_graph(n: int, cliques: int = 4) -> nx.Graph:
     """``cliques`` equal cliques arranged in a chain, consecutive ones sharing one edge.
 
@@ -222,6 +252,7 @@ def clique_chain_graph(n: int, cliques: int = 4) -> nx.Graph:
     return graph
 
 
+@register_topology("lollipop")
 def lollipop_graph(n: int) -> nx.Graph:
     """Lollipop: a clique of ``n // 2`` nodes with a path of ``n - n//2`` nodes attached.
 
@@ -236,6 +267,7 @@ def lollipop_graph(n: int) -> nx.Graph:
     return _relabel_consecutive(graph)
 
 
+@register_topology("caterpillar")
 def caterpillar_graph(n: int, legs_per_spine: int = 2) -> nx.Graph:
     """Caterpillar: a spine path where every spine node carries pendant leaves.
 
@@ -259,6 +291,7 @@ def caterpillar_graph(n: int, legs_per_spine: int = 2) -> nx.Graph:
     return graph
 
 
+@register_topology("small_world")
 def small_world_graph(n: int, neighbours: int = 4, rewire_probability: float = 0.1,
                       seed: int = 0) -> nx.Graph:
     """Connected Watts–Strogatz small-world graph.
@@ -279,6 +312,7 @@ def small_world_graph(n: int, neighbours: int = 4, rewire_probability: float = 0
     return _relabel_consecutive(graph)
 
 
+@register_topology("star_of_cliques")
 def star_of_cliques_graph(n: int, cliques: int = 4) -> nx.Graph:
     """``cliques`` equal cliques all attached to one central hub node.
 
@@ -309,6 +343,7 @@ def star_of_cliques_graph(n: int, cliques: int = 4) -> nx.Graph:
     return graph
 
 
+@register_topology("random_regular")
 def random_regular_graph(n: int, degree: int = 3, seed: int = 0) -> nx.Graph:
     """Connected random ``degree``-regular graph (constant maximum degree)."""
     _check_size(n, minimum=degree + 1)
@@ -326,6 +361,7 @@ def random_regular_graph(n: int, degree: int = 3, seed: int = 0) -> nx.Graph:
     )  # pragma: no cover - overwhelmingly unlikely
 
 
+@register_topology("erdos_renyi")
 def erdos_renyi_graph(n: int, average_degree: float = 6.0, seed: int = 0) -> nx.Graph:
     """Connected Erdős–Rényi graph ``G(n, p)`` with ``p = average_degree / n``."""
     _check_size(n)
@@ -339,6 +375,7 @@ def erdos_renyi_graph(n: int, average_degree: float = 6.0, seed: int = 0) -> nx.
     raise TopologyError(f"failed to sample a connected G({n}, p) graph")  # pragma: no cover
 
 
+@register_topology("expander")
 def expander_graph(n: int, seed: int = 0) -> nx.Graph:
     """A constant-degree expander surrogate: a connected random 4-regular graph.
 
@@ -346,30 +383,6 @@ def expander_graph(n: int, seed: int = 0) -> nx.Graph:
     the conductance-sensitive experiments need.
     """
     return random_regular_graph(n, degree=4, seed=seed)
-
-
-#: Registry mapping a topology name to its builder.  Experiment definitions
-#: and benchmark parameterisations refer to topologies by these names.
-TOPOLOGY_BUILDERS = {
-    "line": line_graph,
-    "ring": ring_graph,
-    "grid": grid_graph,
-    "torus": torus_graph,
-    "complete": complete_graph,
-    "star": star_graph,
-    "binary_tree": binary_tree_graph,
-    "hypercube": hypercube_graph,
-    "barbell": barbell_graph,
-    "dumbbell": dumbbell_graph,
-    "clique_chain": clique_chain_graph,
-    "lollipop": lollipop_graph,
-    "caterpillar": caterpillar_graph,
-    "small_world": small_world_graph,
-    "star_of_cliques": star_of_cliques_graph,
-    "random_regular": random_regular_graph,
-    "erdos_renyi": erdos_renyi_graph,
-    "expander": expander_graph,
-}
 
 
 def build_topology(name: str, n: int, **kwargs) -> nx.Graph:

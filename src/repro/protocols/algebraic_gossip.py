@@ -29,7 +29,7 @@ from ..rlnc.encoder import RlncEncoder
 from ..rlnc.message import Generation
 from ..rlnc.packet import CodedPacket
 
-__all__ = ["AlgebraicGossip", "build_node_decoders"]
+__all__ = ["AlgebraicGossip", "build_node_decoders", "reset_node_to_initial_knowledge"]
 
 
 def build_node_decoders(
@@ -65,6 +65,26 @@ def build_node_decoders(
         decoders[node] = decoder
         encoders[node] = RlncEncoder(decoder, rng)
     return decoders, encoders
+
+
+def reset_node_to_initial_knowledge(
+    generation: Generation,
+    placement: Mapping[int, Sequence[int]],
+    node: int,
+    rng: np.random.Generator,
+) -> tuple[RlncDecoder, RlncEncoder]:
+    """Fresh decoder/encoder for ``node`` holding only its initial messages.
+
+    This is the reset-churn crash semantics shared by
+    :meth:`AlgebraicGossip.on_crash` and
+    :meth:`~repro.protocols.tag.TagProtocol.on_crash`: the node loses every
+    coded row it accumulated and rejoins with exactly the source messages the
+    placement originally stored at it.
+    """
+    decoder = RlncDecoder(generation.field, generation.k, generation.payload_length)
+    for index in placement.get(node, ()):
+        decoder.add_source_message(int(index), generation.payload_matrix[int(index)])
+    return decoder, RlncEncoder(decoder, rng)
 
 
 class AlgebraicGossip(GossipProcess):
@@ -106,6 +126,9 @@ class AlgebraicGossip(GossipProcess):
         self.action = config.action
         self.selector = selector if selector is not None else UniformSelector(graph)
         self.decoders, self.encoders = build_node_decoders(graph, generation, placement, rng)
+        # Kept for reset-churn crashes (on_crash rebuilds a node from these).
+        self._placement = {n: tuple(int(i) for i in idx) for n, idx in placement.items()}
+        self._rng = rng
 
     # ------------------------------------------------------------------
     # GossipProcess interface
@@ -134,6 +157,12 @@ class AlgebraicGossip(GossipProcess):
 
     def is_complete(self) -> bool:
         return all(decoder.is_complete for decoder in self.decoders.values())
+
+    def on_crash(self, node: int) -> None:
+        """Reset-churn crash: the node falls back to its initial messages."""
+        self.decoders[node], self.encoders[node] = reset_node_to_initial_knowledge(
+            self.generation, self._placement, node, self._rng
+        )
 
     def supports_rank_only_batch(self) -> bool:
         """Uniform algebraic gossip is rank-only batchable.

@@ -29,7 +29,7 @@ from ..errors import SimulationError
 from ..gossip.engine import GossipProcess, Transmission
 from ..rlnc.message import Generation
 from ..rlnc.packet import CodedPacket
-from .algebraic_gossip import build_node_decoders
+from .algebraic_gossip import build_node_decoders, reset_node_to_initial_knowledge
 from .spanning_tree_protocols import SpanningTreeProtocol
 
 __all__ = ["TagProtocol"]
@@ -97,6 +97,9 @@ class TagProtocol(GossipProcess):
                 "spanning_tree must be a SpanningTreeProtocol or a factory returning one"
             )
         self.decoders, self.encoders = build_node_decoders(graph, generation, placement, rng)
+        # Kept for reset-churn crashes (on_crash rebuilds a node from these).
+        self._placement = {n: tuple(int(i) for i in idx) for n, idx in placement.items()}
+        self._rng = rng
         self._wakeups: dict[int, int] = {node: 0 for node in graph.nodes()}
         self._total_wakeups = 0
         self._tree_complete_at_wakeup: int | None = None
@@ -148,6 +151,17 @@ class TagProtocol(GossipProcess):
 
     def is_complete(self) -> bool:
         return all(decoder.is_complete for decoder in self.decoders.values())
+
+    def on_crash(self, node: int) -> None:
+        """Reset-churn crash: the node's decoder falls back to its initial messages.
+
+        The spanning-tree state survives the crash — the tree is shared
+        infrastructure (parents, informed bits) that the restarted node can
+        keep using, whereas its coded knowledge is lost with its memory.
+        """
+        self.decoders[node], self.encoders[node] = reset_node_to_initial_knowledge(
+            self.generation, self._placement, node, self._rng
+        )
 
     def finished_nodes(self) -> set[int]:
         return {node for node, decoder in self.decoders.items() if decoder.is_complete}

@@ -168,3 +168,59 @@ class TestRandomTopologies:
         graph = expander_graph(20, seed=1)
         assert nx.is_connected(graph)
         assert max_degree(graph) == 4
+
+
+class TestTopologyRegistry:
+    """The register_topology decorator keeps the registry and exports in sync."""
+
+    def test_every_module_builder_is_registered(self):
+        # Every public *_graph generator defined in the module must have gone
+        # through @register_topology — the registry cannot drift from the code.
+        from repro.graphs import topologies
+
+        defined = {
+            name
+            for name in vars(topologies)
+            if name.endswith("_graph") and callable(getattr(topologies, name))
+        }
+        registered = {builder.__name__ for builder in topologies.TOPOLOGY_BUILDERS.values()}
+        assert defined == registered
+
+    def test_every_builder_is_exported(self):
+        from repro.graphs import topologies
+
+        for builder in topologies.TOPOLOGY_BUILDERS.values():
+            assert builder.__name__ in topologies.__all__
+
+    @pytest.mark.parametrize("name", sorted(TOPOLOGY_BUILDERS))
+    def test_every_builder_yields_connected_consecutive_graph(self, name):
+        graph = build_topology(name, 16)
+        assert nx.is_connected(graph)
+        assert sorted(graph.nodes()) == list(range(graph.number_of_nodes()))
+
+    def test_duplicate_registration_rejected(self):
+        from repro.graphs.topologies import register_topology
+
+        with pytest.raises(TopologyError):
+
+            @register_topology("ring")
+            def ring_clone_graph(n):  # pragma: no cover - must not register
+                raise AssertionError
+
+    def test_user_registration_reaches_build_topology_and_scenarios(self):
+        from repro.graphs.topologies import register_topology
+        from repro.scenarios import ScenarioSpec
+
+        @register_topology("test_tiny_clique")
+        def test_tiny_clique_graph(n):
+            return nx.complete_graph(n)
+
+        try:
+            assert build_topology("test_tiny_clique", 5).number_of_nodes() == 5
+            stats = ScenarioSpec(topology="test_tiny_clique", n=6, trials=1).materialize().run()
+            assert stats.trials == 1
+        finally:
+            from repro.graphs import topologies
+
+            TOPOLOGY_BUILDERS.pop("test_tiny_clique")
+            topologies.__all__.remove("test_tiny_clique_graph")
