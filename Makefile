@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-slow bench-smoke bench-json bench-check scenarios-check docs-check
+.PHONY: test test-slow bench-smoke bench-json bench-check scenarios-check store-check docs-check
 
 ## Tier-1 test suite (unit + property + integration).  Tests marked `slow`
 ## (the large batch-vs-scalar equivalence sweeps) are skipped here.
@@ -45,6 +45,13 @@ bench-check:
 ## registered scenario through the CLI.
 scenarios-check:
 	$(PYTHON) -m repro scenario check
+
+## Result-store guarantees: shard integrity / concurrency semantics and the
+## resume contract (a sweep interrupted mid-way and resumed from its store is
+## bit-identical to an uninterrupted run; a fully cached rerun computes
+## nothing and is >= 10x faster than the cold run).
+store-check:
+	$(PYTHON) -m pytest tests/test_store.py tests/test_store_resume.py -q
 
 ## Documentation drift check: executes every fenced Python block in
 ## README.md and the quickstart example they mirror.

@@ -16,7 +16,7 @@ and runs through the scenario layer — no hand-rolled factories.
 
 from __future__ import annotations
 
-from _utils import PEDANTIC, report
+from _utils import PEDANTIC, bench_store, cached_run, report
 from repro.core import GossipAction
 from repro.experiments import default_config, tag_case
 from repro.experiments.parallel import run_trials_batched
@@ -35,7 +35,7 @@ def _action_ablation():
             topology="ring", n=N, config=_RING_CONFIG.replace(action=action),
             trials=TRIALS, seed=909,
         )
-        stats = spec.materialize().run()
+        stats = cached_run(spec)
         rows.append({"action": action.value, "mean_rounds": round(stats.mean, 1),
                      "p95_rounds": round(stats.whp, 1)})
     return rows
@@ -48,7 +48,7 @@ def _field_size_ablation():
             topology="ring", n=N, config=_RING_CONFIG.replace(field_size=q),
             trials=TRIALS, seed=910,
         )
-        stats = spec.materialize().run()
+        stats = cached_run(spec)
         rows.append({"q": q, "mean_rounds": round(stats.mean, 1),
                      "p95_rounds": round(stats.whp, 1)})
     return rows
@@ -59,8 +59,11 @@ def _tree_protocol_ablation():
     for stp in ("bfs_oracle", "uniform_broadcast", "brr", "is"):
         case = tag_case("barbell", N, N, spanning_tree=stp,
                         config=default_config(max_rounds=500_000))
+        # A materialised case keeps its spec, which is the content address the
+        # store needs alongside the explicit (graph, factory, config) triple.
         stats = run_trials_batched(case.graph, case.protocol_factory, case.config,
-                                   trials=TRIALS, seed=911)
+                                   trials=TRIALS, seed=911,
+                                   store=bench_store(), spec=case.spec)
         rows.append({"spanning_tree": stp, "mean_rounds": round(stats.mean, 1),
                      "p95_rounds": round(stats.whp, 1)})
     return rows
@@ -76,7 +79,7 @@ def _interleaving_ablation():
             config=default_config(max_rounds=500_000),
             trials=TRIALS, seed=912,
         )
-        stats = spec.materialize().run()
+        stats = cached_run(spec)
         rows.append({"variant": label, "mean_rounds": round(stats.mean, 1)})
     return rows
 

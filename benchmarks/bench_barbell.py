@@ -9,8 +9,8 @@ stopping times, their ratio, and the fitted growth exponents.
 
 from __future__ import annotations
 
-from _utils import PEDANTIC, report
-from repro.analysis import fit_power_law, run_sweep
+from _utils import PEDANTIC, cached_sweep, report
+from repro.analysis import fit_power_law
 from repro.experiments import default_config, tag_case, uniform_ag_case
 
 TRIALS = 2
@@ -19,7 +19,7 @@ SIZES = [8, 12, 16, 24, 32]
 
 def _run():
     config = default_config(max_rounds=1_000_000)
-    uniform_points = run_sweep(
+    uniform_points = cached_sweep(
         [
             uniform_ag_case("barbell", n, n, config=config, label=f"uniform n={n}", value=n)
             for n in SIZES
@@ -27,7 +27,7 @@ def _run():
         trials=TRIALS,
         seed=808,
     )
-    tag_points = run_sweep(
+    tag_points = cached_sweep(
         [
             tag_case("barbell", n, n, spanning_tree="brr", config=config,
                      label=f"tag n={n}", value=n)

@@ -5,6 +5,11 @@ the measured quantity (everything else measures simulated rounds).  They
 document how expensive the finite-field and decoder operations are in pure
 Python/numpy — the practical constraint that caps the simulation sizes used in
 the other benchmarks (the "field ops slow at scale" caveat of the repro notes).
+
+These kernels produce no per-trial :class:`~repro.core.RunResult`, so they
+are the one benchmark family with nothing to read through the shared
+persistent result store (``_utils.bench_store``) — caching wall-clock
+measurements would defeat their purpose.
 """
 
 from __future__ import annotations

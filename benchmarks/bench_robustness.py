@@ -12,7 +12,7 @@ loss probability swept through :meth:`ScenarioSpec.with_config`.
 
 from __future__ import annotations
 
-from _utils import PEDANTIC, report
+from _utils import PEDANTIC, cached_run, report
 from repro.scenarios import get_scenario
 
 TRIALS = 3
@@ -24,7 +24,7 @@ def _run():
     rows = []
     baseline = None
     for loss in LOSS_LEVELS:
-        stats = base.with_config(loss_probability=loss).materialize().run()
+        stats = cached_run(base.with_config(loss_probability=loss))
         if baseline is None:
             baseline = stats.mean
         rows.append(

@@ -3,6 +3,10 @@
 Not a table in the paper, but both facts gate the main theorems, so the
 benchmark sweeps the topology families and records the measured diameter /
 path-degree-sum against the claimed bounds.
+
+Everything here is a deterministic graph measurement — no Monte Carlo trials
+— so, like ``bench_field_ops``, this benchmark has nothing to read through
+the shared persistent result store (``_utils.bench_store``).
 """
 
 from __future__ import annotations

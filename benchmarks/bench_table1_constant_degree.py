@@ -14,8 +14,8 @@ from __future__ import annotations
 
 import pytest
 
-from _utils import BENCH_JOBS, PEDANTIC, report
-from repro.analysis import fit_power_law, run_sweep, scaling_table
+from _utils import BENCH_JOBS, PEDANTIC, cached_sweep, report
+from repro.analysis import fit_power_law, scaling_table
 from repro.experiments import default_config, uniform_ag_case
 
 TRIALS = 3
@@ -27,7 +27,7 @@ def _k_sweep():
     cases = [
         uniform_ag_case("ring", 32, k, config=config, label=f"k={k}", value=k) for k in ks
     ]
-    points = run_sweep(cases, trials=TRIALS, seed=202, jobs=BENCH_JOBS)
+    points = cached_sweep(cases, trials=TRIALS, seed=202, jobs=BENCH_JOBS)
     rows = scaling_table(points, bound_names=("theorem3", "lower"), value_header="k")
     fit = fit_power_law([p.value for p in points], [p.mean for p in points])
     return rows, fit
@@ -39,7 +39,7 @@ def _n_sweep():
     cases = [
         uniform_ag_case("ring", n, n, config=config, label=f"n={n}", value=n) for n in ns
     ]
-    points = run_sweep(cases, trials=TRIALS, seed=203, jobs=BENCH_JOBS)
+    points = cached_sweep(cases, trials=TRIALS, seed=203, jobs=BENCH_JOBS)
     rows = scaling_table(points, bound_names=("theorem3", "lower"), value_header="n")
     fit = fit_power_law([p.value for p in points], [p.mean for p in points])
     return rows, fit

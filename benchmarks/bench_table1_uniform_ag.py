@@ -10,8 +10,8 @@ from __future__ import annotations
 
 import pytest
 
-from _utils import BENCH_JOBS, PEDANTIC, report
-from repro.analysis import run_sweep, scaling_table
+from _utils import BENCH_JOBS, PEDANTIC, cached_sweep, report
+from repro.analysis import scaling_table
 from repro.core import TimeModel
 from repro.experiments import default_config, uniform_ag_case
 
@@ -27,7 +27,7 @@ def _run(time_model: TimeModel):
         uniform_ag_case(topology, N, K, config=config, label=f"{topology}", value=N)
         for topology in TOPOLOGIES
     ]
-    points = run_sweep(cases, trials=TRIALS, seed=101, jobs=BENCH_JOBS)
+    points = cached_sweep(cases, trials=TRIALS, seed=101, jobs=BENCH_JOBS)
     rows = scaling_table(points, bound_names=("theorem1", "lower"), value_header="n")
     for row, topology in zip(rows, TOPOLOGIES):
         row["graph"] = topology

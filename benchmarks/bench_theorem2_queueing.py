@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from _utils import PEDANTIC, report
+from _utils import PEDANTIC, bench_store, report
 from repro.core import SimulationConfig, TimeModel
 from repro.graphs import bfs_spanning_tree, grid_graph
 from repro.queueing import (
@@ -84,8 +84,9 @@ def _reduction_vs_gossip():
             seed=708,
         ).materialize()
         # The gossip side of the reduction is rank-only, so the batched
-        # runner applies; the measured rounds match the sequential path.
-        stats = scenario.run()
+        # runner applies; the measured rounds match the sequential path and
+        # are read through the shared result store on re-runs.
+        stats = scenario.run(store=bench_store())
         reduction = QueueingReduction(
             scenario.graph, k=scenario.n, q=2, time_model=TimeModel.SYNCHRONOUS
         )

@@ -17,10 +17,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from _utils import PEDANTIC, report
+from _utils import PEDANTIC, cached_measure, report
 from repro.analysis import brr_broadcast_upper_bound
 from repro.core import SimulationConfig, TimeModel
-from repro.experiments.parallel import measure_protocol_batched
 from repro.graphs import max_shortest_path_degree_sum
 from repro.scenarios import ScenarioSpec
 
@@ -46,8 +45,9 @@ def _broadcast_rows(time_model: TimeModel):
     for topology in TOPOLOGIES:
         scenario = _brr_spec(topology, N, time_model).materialize()
         # All trials in one lockstep batch engine — bit-identical to running
-        # GossipEngine per trial with the same generators, just faster.
-        results = measure_protocol_batched(scenario)
+        # GossipEngine per trial with the same generators, just faster — and
+        # read through the shared result store on re-runs.
+        results = cached_measure(scenario)
         rounds = [result.rounds for result in results]
         depths = [result.metadata["tree_depth"] for result in results]
         rows.append(
@@ -90,7 +90,7 @@ def test_theorem5_brr_scaling_with_n(benchmark):
         rows = []
         for n in (16, 32, 48, 64):
             scenario = _brr_spec("barbell", n, TimeModel.SYNCHRONOUS).materialize()
-            rounds = [r.rounds for r in measure_protocol_batched(scenario)]
+            rounds = [r.rounds for r in cached_measure(scenario)]
             rows.append(
                 {
                     "n": scenario.n,

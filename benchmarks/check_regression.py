@@ -11,11 +11,21 @@ asserted floor (``min_speedup``, default 5.0).  Run it standalone or via
 
 Exit code 0 when every record holds, 1 on any regression or when no records
 exist (an empty perf trajectory is itself a regression).
+
+With ``--store`` the script instead reads a persistent result store — an
+export file written by ``python -m repro store export``, or a store
+directory — and prints the stopping-time aggregate of every archived
+workload, so a CI artifact or a colleague's exported snapshot can be
+inspected without re-running any simulation::
+
+    python benchmarks/check_regression.py --store snapshot.jsonl
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import statistics
 import sys
 from pathlib import Path
 
@@ -23,7 +33,66 @@ OUTPUT_DIR = Path(__file__).resolve().parent / "output"
 DEFAULT_FLOOR = 5.0
 
 
+def store_aggregates(path: Path) -> int:
+    """Print per-workload stopping-time aggregates from a store/export."""
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+    from repro.errors import ReproError, StoreError
+    from repro.scenarios import ScenarioSpec
+    from repro.store import load_snapshot
+
+    try:
+        snapshot = load_snapshot(path)
+    except StoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if not snapshot.results:
+        print(f"error: no result records in {path}", file=sys.stderr)
+        return 1
+    for fingerprint in sorted(snapshot.results):
+        bucket = snapshot.results[fingerprint]
+        # Rebuild the spec so defaulted (omitted) fields print their real
+        # values; headers from an incompatible schema get a placeholder.
+        try:
+            spec = ScenarioSpec.from_dict(snapshot.specs[fingerprint])
+            label = spec.name or f"{spec.protocol} on {spec.topology}(n={spec.n})"
+        except (KeyError, ReproError):
+            label = "(unknown workload)"
+        # Tolerate schema-divergent payloads (e.g. exports from another
+        # version): records without the expected fields count as incomplete
+        # rather than crashing the report.
+        rounds = [
+            record["rounds"]
+            for record in bucket.values()
+            if record.get("completed") and isinstance(record.get("rounds"), (int, float))
+        ]
+        incomplete = len(bucket) - len(rounds)
+        summary = (
+            f"mean={statistics.fmean(rounds):.1f}, max={max(rounds)}"
+            if rounds
+            else "no completed trials"
+        )
+        print(
+            f"{fingerprint[:12]}  {label}: {len(bucket)} trial record(s), {summary}"
+            + (f" ({incomplete} incomplete)" if incomplete else "")
+        )
+    print(f"{snapshot.trial_count} trial record(s) across {len(snapshot.results)} workload(s)")
+    return 0
+
+
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--store", type=Path, default=None, metavar="PATH",
+        help=(
+            "read aggregates from a result-store export file (or store "
+            "directory) instead of checking perf records"
+        ),
+    )
+    args = parser.parse_args()
+    if args.store is not None:
+        return store_aggregates(args.store)
     records = sorted(OUTPUT_DIR.glob("BENCH_*.json"))
     if not records:
         print(f"error: no BENCH_*.json records under {OUTPUT_DIR}", file=sys.stderr)

@@ -23,6 +23,10 @@ The package is organised bottom-up:
   protocol + config + trial plan, including churn schedules and
   heterogeneous activation rates) drives the CLI, the sweep runner and the
   benchmarks with identical seeded results,
+* :mod:`repro.store` — the persistent content-addressed result store:
+  per-trial results keyed by ``(spec fingerprint, seed, trial)`` in
+  append-only JSONL shards; every runner reads through it, making sweeps
+  resumable and re-runs free,
 * :mod:`repro.experiments` — named experiments, trial runners and reporting.
 
 Quickstart
@@ -53,6 +57,7 @@ from .errors import (
     FieldError,
     ReproError,
     SimulationError,
+    StoreError,
     TopologyError,
 )
 from .gf import GF
@@ -75,6 +80,7 @@ from .scenarios import (
     scenario_case,
     scenario_names,
 )
+from .store import ResultStore
 
 __version__ = "1.0.0"
 
@@ -93,6 +99,7 @@ __all__ = [
     "FieldError",
     "ReproError",
     "SimulationError",
+    "StoreError",
     "TopologyError",
     "GF",
     "EventTrace",
@@ -117,6 +124,7 @@ __all__ = [
     "register_scenario",
     "scenario_case",
     "scenario_names",
+    "ResultStore",
     "quick_run",
 ]
 
@@ -158,7 +166,7 @@ def quick_run(
     RunResult
         Stopping time (rounds / timeslots), completion data and counters.
     """
-    from .experiments.workloads import all_to_all_placement, spread_placement
+    from .scenarios.placements import all_to_all_placement, spread_placement
 
     graph = build_topology(topology, n, **topology_kwargs)
     actual_n = graph.number_of_nodes()

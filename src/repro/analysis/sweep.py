@@ -103,6 +103,8 @@ def run_sweep(
     seed: int = 0,
     jobs: int | None = None,
     batch: bool = True,
+    store: Any = None,
+    fresh: bool = False,
 ) -> list[SweepPoint]:
     """Execute every case of a sweep and return one point per case.
 
@@ -131,6 +133,21 @@ def run_sweep(
         the sequential engine automatically.  Results are bit-identical
         either way — same seeds, same stopping times — so this is purely a
         wall-clock knob.
+    store, fresh:
+        A :class:`~repro.store.ResultStore` makes the sweep cache-aware and
+        resumable: for every case that carries a scenario spec (all cases
+        built through the scenario layer do) only the
+        ``(fingerprint, case seed, trial)`` records not already stored are
+        simulated; the rest are read back, bit-identical.  An interrupted
+        sweep rerun against the same store finishes only the remaining
+        trials; a fully cached rerun computes nothing.  Hand-assembled cases
+        without a spec have no content address and always compute.
+        ``fresh=True`` bypasses the cache reads (results are still
+        persisted).  Note that each case's root seed derives from its
+        *position* (``seed + index * 10_007``), so extending a cached sweep
+        keeps existing cases cached only when new cases are **appended**;
+        inserting or reordering shifts the later cases' seeds and they
+        recompute (correctly, just not from cache).
     """
     if not cases:
         raise AnalysisError("run_sweep requires at least one case")
@@ -149,10 +166,15 @@ def run_sweep(
     points: list[SweepPoint] = []
     for index, case in enumerate(cases):
         case_seed = seed + index * 10_007
-        if jobs is not None and jobs > 1:
+        case_store = store if case.spec is not None else None
+        if (jobs is not None and jobs > 1) or case_store is not None:
+            # The parallel runner handles jobs=1 in-process and is the one
+            # store-aware entry point covering both the batch and the
+            # sequential (batch=False) execution paths.
             stats = run_trials_parallel(
                 case.graph, case.protocol_factory, case.config,
-                trials=trials, seed=case_seed, jobs=jobs, batch=batch,
+                trials=trials, seed=case_seed, jobs=jobs or 1, batch=batch,
+                store=case_store, fresh=fresh, spec=case.spec,
             )
         elif batch:
             stats = run_trials_batched(

@@ -47,7 +47,51 @@ from .bounds import (
     uniform_ag_upper_bound,
 )
 
-__all__ = ["table1_rows", "table2_rows", "format_table"]
+__all__ = ["table1_rows", "table2_rows", "measured_rows", "format_table"]
+
+
+def measured_rows(
+    specs: Sequence[Any],
+    *,
+    trials: int | None = None,
+    seed: int | None = None,
+    jobs: int | None = None,
+    batch: bool = True,
+    store: Any = None,
+    fresh: bool = False,
+) -> list[dict[str, Any]]:
+    """Measured stopping-time rows for a set of scenarios, read through the store.
+
+    The companion of the analytic :func:`table1_rows` / :func:`table2_rows`:
+    each entry of ``specs`` (a :class:`~repro.scenarios.ScenarioSpec` or a
+    registered scenario name) is simulated for its Monte Carlo plan — or for
+    the overriding ``trials``/``seed`` — and reported as one row with the
+    mean/p95 stopping time.  With a :class:`~repro.store.ResultStore`, every
+    already-cached ``(fingerprint, seed, trial)`` record is reused, so adding
+    one new topology to a table re-simulates only that topology's trials.
+    """
+    # Imported lazily: the scenario layer sits above repro.analysis in the
+    # dependency stack, so a top-level import would be circular.
+    from ..scenarios.registry import get_scenario
+
+    rows: list[dict[str, Any]] = []
+    for entry in specs:
+        spec = get_scenario(entry) if isinstance(entry, str) else entry
+        scenario = spec.materialize()
+        stats = scenario.run(
+            trials=trials, seed=seed, jobs=jobs, batch=batch, store=store, fresh=fresh
+        )
+        rows.append(
+            {
+                "label": scenario.label,
+                "n": scenario.n,
+                "k": scenario.k,
+                "trials": stats.trials,
+                "mean_rounds": round(stats.mean, 2),
+                "p95_rounds": round(stats.whp, 2),
+            }
+        )
+    return rows
 
 
 def table1_rows(

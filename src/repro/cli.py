@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows (run ``python -m repro <cmd>
+Five subcommands cover the common workflows (run ``python -m repro <cmd>
 --help`` for the full flag reference of each):
 
 ``run``
@@ -32,6 +32,20 @@ Four subcommands cover the common workflows (run ``python -m repro <cmd>
 
         python -m repro experiment E2-constant-degree --trials 2
 
+``store``
+    The persistent content-addressed result store.  ``run``, ``scenario run``
+    and ``experiment`` accept ``--store [PATH]`` (or the ``REPRO_STORE``
+    environment variable; ``--no-store`` disables, ``--fresh`` recomputes):
+    cached trials of the same workload/seed are read back bit-identically and
+    new trials are appended, so interrupted commands resume and repeated
+    commands cost nothing.  The subcommands inspect and maintain a store::
+
+        python -m repro run --topology barbell --n 24 --trials 32 --store
+        python -m repro store ls
+        python -m repro store show 3f1c --json
+        python -m repro store export snapshot.jsonl
+        python -m repro store diff .repro-store snapshot.jsonl
+
 ``tables``
     Print the analytic reproduction of the paper's Table 1 and Table 2 for a
     chosen ``n`` and ``k``, on any set of registered topologies::
@@ -49,6 +63,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -59,6 +74,7 @@ from .errors import ReproError
 from .experiments import EXPERIMENTS, default_config, run_experiment
 from .graphs import TOPOLOGY_BUILDERS, build_topology
 from .scenarios import SCENARIOS, ScenarioSpec, get_scenario, scenario_names
+from .store import ResultStore, diff_snapshots, load_snapshot
 
 __all__ = ["main", "build_parser"]
 
@@ -68,6 +84,57 @@ _PROTOCOL_CHOICES = {
     "tag": ("tag", "brr"),
     "tag-is": ("tag", "is"),
 }
+
+#: Environment override and fallback location for the persistent result store.
+_STORE_ENV = "REPRO_STORE"
+_DEFAULT_STORE = ".repro-store"
+
+
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``--store / --no-store / --fresh`` trio shared by the run commands."""
+    parser.add_argument(
+        "--store", nargs="?", const=_DEFAULT_STORE, default=None, metavar="PATH",
+        help=(
+            "persistent content-addressed result store: cached trials of the "
+            "same workload/seed are reused, newly computed trials are saved.  "
+            f"PATH defaults to {_DEFAULT_STORE}; the {_STORE_ENV} environment "
+            "variable enables a store without the flag"
+        ),
+    )
+    parser.add_argument(
+        "--no-store", action="store_true",
+        help=f"disable the result store even when {_STORE_ENV} is set",
+    )
+    parser.add_argument(
+        "--fresh", action="store_true",
+        help=(
+            "recompute every trial instead of reading the store (results are "
+            "still saved; deterministic trials make this a pure re-verification)"
+        ),
+    )
+
+
+def _open_store(args: argparse.Namespace) -> ResultStore | None:
+    """The store the run flags select, or ``None`` when storing is off."""
+    if getattr(args, "no_store", False):
+        return None
+    path = getattr(args, "store", None)
+    if path is None:
+        path = os.environ.get(_STORE_ENV) or None
+    if path is None:
+        return None
+    return ResultStore(path)
+
+
+def _existing_store(path: "str | None") -> ResultStore:
+    """Open a store for the management commands (missing directory is an error).
+
+    Opened without load-time repair: ``ls``/``show``/``export`` must not
+    modify the files they read, and ``gc``'s atomic rewrite drops interrupted
+    fragments anyway.
+    """
+    resolved = path or os.environ.get(_STORE_ENV) or _DEFAULT_STORE
+    return ResultStore(resolved, create=False, repair=False)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -160,6 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
             "running it (feed it back through 'scenario run --file')"
         ),
     )
+    _add_store_arguments(run_parser)
 
     scenario_parser = subparsers.add_parser(
         "scenario",
@@ -225,6 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch", action=argparse.BooleanOptionalAction, default=True,
         help="use the scenario's vectorised batch engine when it declares one",
     )
+    _add_store_arguments(scenario_run_parser)
 
     check_parser = scenario_actions.add_parser(
         "check",
@@ -273,6 +342,79 @@ def build_parser() -> argparse.ArgumentParser:
             "(same results, slower)"
         ),
     )
+    _add_store_arguments(experiment_parser)
+
+    store_parser = subparsers.add_parser(
+        "store",
+        help="inspect and maintain the persistent result store",
+        description=(
+            "The content-addressed result store archives every computed "
+            "trial as an append-only (workload fingerprint, seed, trial) "
+            "record.  'ls' lists the cached workloads, 'show' inspects one, "
+            "'gc' compacts / prunes, 'export' writes a portable single-file "
+            "snapshot, and 'diff' compares two stores or exports "
+            "record-for-record (identical seeded trials must never differ).  "
+            f"The store path defaults to $" + _STORE_ENV + f" or {_DEFAULT_STORE}."
+        ),
+    )
+    store_actions = store_parser.add_subparsers(dest="action", required=True)
+
+    def _store_path_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--store", default=None, metavar="PATH",
+            help=f"store directory (default: ${_STORE_ENV} or {_DEFAULT_STORE})",
+        )
+
+    ls_parser = store_actions.add_parser(
+        "ls", help="list every cached workload with its trial count"
+    )
+    _store_path_option(ls_parser)
+
+    store_show_parser = store_actions.add_parser(
+        "show", help="show one cached workload (spec + aggregate statistics)"
+    )
+    store_show_parser.add_argument(
+        "fingerprint", metavar="FINGERPRINT",
+        help="workload fingerprint (any unambiguous prefix)",
+    )
+    store_show_parser.add_argument(
+        "--json", action="store_true",
+        help="print the stored spec as its canonical JSON document",
+    )
+    _store_path_option(store_show_parser)
+
+    gc_parser = store_actions.add_parser(
+        "gc",
+        help="compact shards (drop duplicate records); --keep prunes workloads",
+    )
+    gc_parser.add_argument(
+        "--keep", nargs="+", default=None, metavar="FINGERPRINT",
+        help=(
+            "keep only these workloads (unambiguous fingerprint prefixes) and "
+            "delete every other shard; default keeps everything and only compacts"
+        ),
+    )
+    _store_path_option(gc_parser)
+
+    export_parser = store_actions.add_parser(
+        "export", help="write the store (or selected workloads) as one JSONL file"
+    )
+    export_parser.add_argument("output", type=Path, metavar="OUTPUT",
+                               help="path of the export file to write")
+    export_parser.add_argument(
+        "--fingerprint", nargs="+", default=None, metavar="FINGERPRINT",
+        help="export only these workloads (default: the whole store)",
+    )
+    _store_path_option(export_parser)
+
+    diff_parser = store_actions.add_parser(
+        "diff",
+        help="compare two stores (directories) or exports (files) record-for-record",
+    )
+    diff_parser.add_argument("left", type=Path, metavar="LEFT",
+                             help="store directory or export file")
+    diff_parser.add_argument("right", type=Path, metavar="RIGHT",
+                             help="store directory or export file")
 
     tables_parser = subparsers.add_parser(
         "tables",
@@ -329,6 +471,8 @@ def _run_scenario_spec(
     seed: int | None,
     jobs: int | None,
     batch: bool,
+    store: ResultStore | None = None,
+    fresh: bool = False,
     title_prefix: str | None = None,
 ) -> int:
     """Shared execution path of ``run`` and ``scenario run``.
@@ -349,14 +493,25 @@ def _run_scenario_spec(
         print(f"error: --trials must be positive, got {trials}", file=sys.stderr)
         return 2
     if trials == 1:
-        result = scenario.run_single()
+        result = scenario.run_single(store=store, fresh=fresh)
         print(f"{title}: {result.summary()}")
         for key, value in sorted(result.metadata.items()):
             print(f"  {key}: {value}")
+        _print_store_summary(store)
         return 0 if result.completed else 1
-    stats = scenario.run(trials=trials, jobs=jobs, batch=batch)
+    stats = scenario.run(trials=trials, jobs=jobs, batch=batch, store=store, fresh=fresh)
     print(f"{title}: {stats.summary()}")
+    _print_store_summary(store)
     return 0
+
+
+def _print_store_summary(store: ResultStore | None) -> None:
+    if store is None:
+        return
+    print(
+        f"store: {store.hits} trial(s) read from cache, "
+        f"{store.puts} newly computed and saved ({store.root})"
+    )
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -370,6 +525,8 @@ def _command_run(args: argparse.Namespace) -> int:
         seed=None,  # args.seed is already the spec's root seed
         jobs=1 if args.jobs is None else args.jobs,
         batch=args.batch,
+        store=_open_store(args),
+        fresh=args.fresh,
         title_prefix=f"{args.protocol} on",
     )
 
@@ -427,6 +584,8 @@ def _command_scenario(args: argparse.Namespace) -> int:
             seed=args.seed,
             jobs=args.jobs,
             batch=args.batch,
+            store=_open_store(args),
+            fresh=args.fresh,
         )
     return _command_scenario_check(args)
 
@@ -464,15 +623,120 @@ def _command_scenario_check(args: argparse.Namespace) -> int:
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
+    store = _open_store(args)
     result = run_experiment(
         args.experiment_id,
         trials=args.trials,
         seed=args.seed,
         jobs=args.jobs,
         batch=args.batch,
+        store=store,
+        fresh=args.fresh,
     )
     print(result.experiment.description)
     print(format_table(result.rows, title=args.experiment_id))
+    _print_store_summary(store)
+    return 0
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    if args.action == "diff":
+        report = diff_snapshots(load_snapshot(args.left), load_snapshot(args.right))
+        for side, only in (("left", "only_left"), ("right", "only_right")):
+            for fingerprint, count in sorted(report[only].items()):
+                print(f"only in {side}: {fingerprint[:12]}... ({count} trial record(s))")
+        for side, key in (("left", "trials_only_left"), ("right", "trials_only_right")):
+            for fingerprint, seed, trial in report[key]:
+                print(f"only in {side}: {fingerprint[:12]}... seed={seed} trial={trial}")
+        for fingerprint, seed, trial in report["differing"]:
+            print(f"DIFFERS: {fingerprint[:12]}... seed={seed} trial={trial}")
+        print(
+            f"{report['identical']} shared record(s) identical, "
+            f"{len(report['differing'])} differing"
+        )
+        # Differing records for the same (fingerprint, seed, trial) signal
+        # non-determinism or corruption — that, not mere asymmetry, fails.
+        return 1 if report["differing"] else 0
+    store = _existing_store(args.store)
+    if args.action == "ls":
+        fingerprints = store.fingerprints()
+        if not fingerprints:
+            print(f"store {store.root} is empty")
+            return 0
+        rows = []
+        for fingerprint in fingerprints:
+            # Rebuild the real spec so defaulted fields print their actual
+            # values; a header written by a newer/older schema falls back to
+            # placeholders rather than guessed defaults.
+            try:
+                spec = store.spec(fingerprint)
+                workload = {
+                    "protocol": spec.protocol,
+                    "topology": spec.topology,
+                    "n": spec.n,
+                    "k": spec.k if spec.k is not None else "n",
+                    "name": spec.name or "-",
+                }
+            except ReproError:
+                workload = {"protocol": "?", "topology": "?", "n": "?", "k": "?", "name": "-"}
+            keys = store.trial_keys(fingerprint)
+            rows.append(
+                {
+                    "fingerprint": fingerprint[:12],
+                    **{key: workload[key] for key in ("protocol", "topology", "n", "k")},
+                    "seeds": len({seed for seed, _ in keys}),
+                    "trials": len(keys),
+                    "name": workload["name"],
+                }
+            )
+        print(format_table(rows, title=f"Result store {store.root} ({len(rows)} workload(s))"))
+        return 0
+    if args.action == "show":
+        fingerprint = store.resolve_fingerprint(args.fingerprint)
+        spec_data = store.spec_dict(fingerprint)
+        if args.json:
+            if spec_data is None:
+                # Fail like ResultStore.spec() would: piping `null` into a
+                # spec consumer is worse than a loud error.
+                print(
+                    f"error: shard {fingerprint[:12]}... has no spec header",
+                    file=sys.stderr,
+                )
+                return 2
+            print(json.dumps(spec_data, indent=2, sort_keys=True))
+            return 0
+        print(f"fingerprint: {fingerprint}")
+        if spec_data is not None:
+            print(f"spec:        {json.dumps(spec_data, sort_keys=True)}")
+        keys = store.trial_keys(fingerprint)
+        by_seed: dict[int, list[int]] = {}
+        for seed, trial in keys:
+            by_seed.setdefault(seed, []).append(trial)
+        for seed, trials in sorted(by_seed.items()):
+            contiguous = max(trials) + 1 == len(trials) and min(trials) == 0
+            stats_note = ""
+            if contiguous:
+                stats = store.aggregate(fingerprint, len(trials), seed=seed)
+                stats_note = f" — {stats.summary()}"
+            print(f"  seed {seed}: {len(trials)} trial(s){stats_note}")
+        return 0
+    if args.action == "gc":
+        keep = (
+            None
+            if args.keep is None
+            else [store.resolve_fingerprint(prefix) for prefix in args.keep]
+        )
+        stats = store.gc(keep=keep)
+        print(
+            f"gc: kept {stats['kept_shards']} shard(s) "
+            f"({stats['kept_records']} record(s)), removed "
+            f"{stats['removed_shards']} shard(s), dropped "
+            f"{stats['dropped_records']} redundant record(s)"
+        )
+        return 0
+    # export
+    exported = store.export(args.output, fingerprints=args.fingerprint)
+    print(f"exported {exported} trial record(s) to {args.output}")
     return 0
 
 
@@ -496,6 +760,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": _command_run,
         "scenario": _command_scenario,
         "experiment": _command_experiment,
+        "store": _command_store,
         "tables": _command_tables,
     }
     try:

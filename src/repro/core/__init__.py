@@ -1,7 +1,7 @@
 """Core simulation kernel: configuration, results and random-number streams."""
 
 from .config import GossipAction, SimulationConfig, TimeModel
-from .results import RunResult, StoppingTimeStats, aggregate_results
+from .results import RunResult, StoppingTimeStats, aggregate_results, json_ready
 from .rng import DEFAULT_SEED, RngStreams, derive_rng, derive_seed, make_rng, spawn_rngs
 
 __all__ = [
@@ -11,6 +11,7 @@ __all__ = [
     "RunResult",
     "StoppingTimeStats",
     "aggregate_results",
+    "json_ready",
     "DEFAULT_SEED",
     "RngStreams",
     "derive_rng",

@@ -11,15 +11,46 @@ bounds are stated for.
 
 from __future__ import annotations
 
+import json
 import math
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field, fields
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from ..errors import AnalysisError
 
-__all__ = ["RunResult", "StoppingTimeStats", "aggregate_results"]
+__all__ = ["RunResult", "StoppingTimeStats", "aggregate_results", "json_ready"]
+
+
+def json_ready(value: Any) -> Any:
+    """Deep-normalise ``value`` to plain JSON-native Python types.
+
+    Numpy scalars become ``int``/``float``/``bool``, arrays become nested
+    lists, tuples become lists and mapping keys become strings — exactly the
+    shape ``json.loads(json.dumps(value))`` would produce, so a value that
+    went through this function round-trips through JSON *unchanged* (equality,
+    not just approximation).  Used by :meth:`RunResult.__post_init__` so that
+    protocol metadata written by numpy-heavy engines (``np.int64`` counters,
+    boolean masks, ...) never leaks non-serialisable types into results.
+    """
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [json_ready(item) for item in value.tolist()]
+    if isinstance(value, Mapping):
+        return {str(key): json_ready(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_ready(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise AnalysisError(
+        f"cannot normalise {type(value).__name__} value {value!r} for JSON"
+    )
 
 
 @dataclass(frozen=True)
@@ -54,7 +85,12 @@ class RunResult:
     metadata:
         Free-form extra information recorded by the protocol (for example the
         spanning-tree depth in a TAG run, or the round at which phase 1
-        finished).
+        finished).  Values must be JSON-representable: numpy scalars/arrays,
+        tuples and nested mappings are normalised to plain Python types at
+        construction (see :func:`json_ready`), anything else — arbitrary
+        objects, sets — raises :class:`~repro.errors.AnalysisError`.  The
+        normalisation is what makes results serialise losslessly into the
+        persistent result store.
     """
 
     rounds: int
@@ -66,6 +102,76 @@ class RunResult:
     messages_sent: int = 0
     helpful_messages: int = 0
     metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Normalise every field to plain Python types at construction time.
+        # Engines assemble results from numpy state, and np.int64 values that
+        # leak into metadata or completion_rounds would compare equal to a
+        # fresh run but serialise differently — the result store requires the
+        # JSON round trip to be exact (see to_dict / from_dict).
+        for name in ("rounds", "timeslots", "n", "k", "messages_sent", "helpful_messages"):
+            object.__setattr__(self, name, int(getattr(self, name)))
+        object.__setattr__(self, "completed", bool(self.completed))
+        object.__setattr__(
+            self,
+            "completion_rounds",
+            {int(node): int(round_) for node, round_ in self.completion_rounds.items()},
+        )
+        object.__setattr__(self, "metadata", json_ready(dict(self.metadata)))
+
+    # ------------------------------------------------------------------
+    # Serialisation (lossless JSON round trip, used by the result store)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON representation; exact inverse of :meth:`from_dict`.
+
+        ``completion_rounds`` keys become strings (JSON object keys always
+        are); :meth:`from_dict` restores them to ``int``, so
+        ``RunResult.from_dict(r.to_dict()) == r`` holds exactly — including
+        through an actual ``json.dumps``/``json.loads`` round trip, because
+        ``__post_init__`` already normalised every value to JSON-native types.
+        """
+        return {
+            "rounds": self.rounds,
+            "timeslots": self.timeslots,
+            "completed": self.completed,
+            "n": self.n,
+            "k": self.k,
+            "completion_rounds": {
+                str(node): round_ for node, round_ in self.completion_rounds.items()
+            },
+            "messages_sent": self.messages_sent,
+            "helpful_messages": self.helpful_messages,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output (extra keys rejected)."""
+        known = {result_field.name for result_field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise AnalysisError(
+                f"unknown RunResult fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        kwargs = dict(data)
+        kwargs["completion_rounds"] = {
+            int(node): round_
+            for node, round_ in dict(kwargs.get("completion_rounds", {})).items()
+        }
+        return cls(**kwargs)
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Serialise to a JSON document (compact by default, for JSONL shards)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        """Rebuild a result from :meth:`to_json` output."""
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise AnalysisError("a RunResult JSON document must be an object")
+        return cls.from_dict(data)
 
     @property
     def last_completion_round(self) -> int | None:

@@ -50,6 +50,16 @@ class ConfigurationError(ReproError):
     """Raised when a :class:`SimulationConfig` contains inconsistent values."""
 
 
+class StoreError(ReproError):
+    """Raised when the persistent result store cannot honour a request.
+
+    Examples: a corrupt shard file (malformed JSON on a committed line, or a
+    record whose fingerprint does not match its shard), an aggregate request
+    for trials the store does not hold, or an export/import of an unreadable
+    file.
+    """
+
+
 class AnalysisError(ReproError):
     """Raised when an analysis routine receives data it cannot work with.
 

@@ -21,7 +21,10 @@ from .runner import (
     tag_case,
     uniform_ag_case,
 )
-from .workloads import (
+# Re-exported from the scenario layer (their home since the placements move);
+# the deprecated repro.experiments.workloads shim is *not* imported here, so
+# its DeprecationWarning only fires for code still using the old module path.
+from ..scenarios.placements import (
     Placement,
     adversarial_far_placement,
     all_to_all_placement,

@@ -68,8 +68,16 @@ def _resolve_workload(
     config: SimulationConfig | None,
     trials: int | None,
     seed: int | None,
-) -> tuple[nx.Graph, ProtocolFactory, SimulationConfig, int, int]:
-    """Normalise the ``(graph | spec | materialized, ...)`` calling conventions."""
+    spec: Any = None,
+) -> tuple[nx.Graph, ProtocolFactory, SimulationConfig, int, int, Any]:
+    """Normalise the ``(graph | spec | materialized, ...)`` calling conventions.
+
+    The returned sixth element is the :class:`~repro.scenarios.ScenarioSpec`
+    identifying the workload for content addressing: the one the scenario
+    argument carried, or the explicit ``spec`` keyword (used by callers like
+    :func:`repro.analysis.sweep.run_sweep` that hold a materialised case's
+    graph/factory/config alongside the spec they came from), or ``None``.
+    """
     # Imported lazily: the scenario layer imports repro.analysis, which is a
     # sibling of this package in the stack.
     from ..scenarios.spec import MaterializedScenario, ScenarioSpec
@@ -89,12 +97,66 @@ def _resolve_workload(
         config = scenario.config
         trials = scenario.spec.trials if trials is None else trials
         seed = scenario.spec.seed if seed is None else seed
+        spec = scenario.spec
     if protocol_factory is None or config is None:
         raise AnalysisError(
             "protocol_factory and config are required unless a ScenarioSpec "
             "(or MaterializedScenario) is passed in place of the graph"
         )
-    return graph, protocol_factory, config, 5 if trials is None else trials, 0 if seed is None else seed
+    return (
+        graph,
+        protocol_factory,
+        config,
+        5 if trials is None else trials,
+        0 if seed is None else seed,
+        spec,
+    )
+
+
+def _run_through_store(
+    store: Any,
+    spec: Any,
+    seed: int,
+    trial_indices: Sequence[int],
+    fresh: bool,
+    compute: "Any",
+) -> list[RunResult]:
+    """Serve trials from the store, compute the rest, persist, merge in order.
+
+    The one cache-aware code path shared by the batched and the parallel
+    runner: ``compute(missing_indices)`` runs only the trial streams the
+    store does not hold, the fresh results are persisted, and the merged
+    list comes back in ``trial_indices`` order — bit-identical to computing
+    everything, because trial ``i`` derives its generator from the root seed
+    alone.
+
+    ``fresh`` bypasses the read side (every trial recomputes) without
+    touching the write side: :meth:`~repro.store.ResultStore.put_many` skips
+    keys whose recomputed payload matches the archive and raises
+    ``StoreError`` on divergence, so a fresh run is an actual
+    re-verification of the stored records.
+    """
+    if spec is None:
+        raise AnalysisError(
+            "a result store needs a content address: pass the workload as a "
+            "ScenarioSpec/MaterializedScenario, or supply spec=... alongside "
+            "the explicit (graph, protocol_factory, config) triple"
+        )
+    cached: dict[int, RunResult] = {}
+    if not fresh:
+        for index in trial_indices:
+            result = store.get(spec, index, seed=seed)
+            if result is not None:
+                cached[index] = result
+    to_run = [index for index in trial_indices if index not in cached]
+    computed: dict[int, RunResult] = {}
+    if to_run:
+        computed = dict(zip(to_run, compute(to_run)))
+        store.put_many(spec, computed, seed=seed)
+    return [
+        cached[index] if index in cached else computed[index]
+        for index in trial_indices
+    ]
 
 
 def scenario_batch_strategy(scenario: Any) -> BatchRunner | None:
@@ -171,6 +233,9 @@ def measure_protocol_batched(
     trials: int | None = None,
     seed: int | None = None,
     trial_indices: Sequence[int] | None = None,
+    store: Any = None,
+    fresh: bool = False,
+    spec: Any = None,
 ) -> list[RunResult]:
     """Run seeded trials through the vectorised batch engine when possible.
 
@@ -188,16 +253,33 @@ def measure_protocol_batched(
     ``trial_indices`` selects which trial streams to run (default
     ``0 .. trials-1``); the parallel runner uses it to assign disjoint chunks
     to workers without perturbing any trial's randomness.
+
+    ``store`` (a :class:`~repro.store.ResultStore`) makes the call
+    cache-aware: only the ``(fingerprint, seed, trial)`` keys not already
+    present are computed, and newly computed results are persisted.  Because
+    trial ``i`` derives its generator from the root seed alone, running just
+    the missing indices is bit-identical to running them all — so a resumed
+    or fully-cached call returns exactly what a cold call would.  Caching
+    needs a content address: when the workload arrives as a bare
+    ``(graph, protocol_factory, config)`` triple, pass the ``spec`` it came
+    from (``fresh=True`` bypasses cache reads but still persists).
     """
-    graph, protocol_factory, config, trials, seed = _resolve_workload(
-        graph, protocol_factory, config, trials, seed
+    graph, protocol_factory, config, trials, seed, spec = _resolve_workload(
+        graph, protocol_factory, config, trials, seed, spec
     )
     if trial_indices is None:
         if trials < 1:
             raise AnalysisError(f"trials must be positive, got {trials}")
         trial_indices = range(trials)
-    return _measure_trial_indices(
-        graph, protocol_factory, config, seed, trial_indices, batch=True
+    if store is None:
+        return _measure_trial_indices(
+            graph, protocol_factory, config, seed, trial_indices, batch=True
+        )
+    return _run_through_store(
+        store, spec, seed, trial_indices, fresh,
+        lambda missing: _measure_trial_indices(
+            graph, protocol_factory, config, seed, missing, batch=True
+        ),
     )
 
 
@@ -208,15 +290,21 @@ def run_trials_batched(
     *,
     trials: int | None = None,
     seed: int | None = None,
+    store: Any = None,
+    fresh: bool = False,
+    spec: Any = None,
 ) -> StoppingTimeStats:
     """Like :func:`~repro.analysis.stopping_time.run_trials`, batched.
 
     Also accepts a :class:`~repro.scenarios.ScenarioSpec` in place of the
-    ``(graph, protocol_factory, config)`` triple.
+    ``(graph, protocol_factory, config)`` triple, and a
+    :class:`~repro.store.ResultStore` through which cached trials are reused
+    (see :func:`measure_protocol_batched`).
     """
     return aggregate_results(
         measure_protocol_batched(
-            graph, protocol_factory, config, trials=trials, seed=seed
+            graph, protocol_factory, config, trials=trials, seed=seed,
+            store=store, fresh=fresh, spec=spec,
         )
     )
 
@@ -242,6 +330,44 @@ def _chunks(indices: Sequence[int], jobs: int) -> list[list[int]]:
     return chunks
 
 
+def _measure_indices_chunked(
+    graph: nx.Graph,
+    protocol_factory: ProtocolFactory,
+    config: SimulationConfig,
+    seed: int,
+    trial_indices: Sequence[int],
+    jobs: int,
+    batch: bool,
+) -> list[RunResult]:
+    """Run the given trial streams over up to ``jobs`` worker processes."""
+    if not trial_indices:
+        return []
+    jobs = min(jobs, len(trial_indices))
+    if jobs == 1:
+        return _measure_trial_indices(
+            graph, protocol_factory, config, seed, trial_indices, batch
+        )
+    chunks = _chunks(trial_indices, jobs)
+    try:
+        payloads = [
+            pickle.dumps((graph, protocol_factory, config, seed, chunk, batch))
+            for chunk in chunks
+        ]
+    except Exception:
+        # Unpicklable factories (lambdas, local closures) cannot cross a
+        # process boundary; run them in-process instead — the results are
+        # identical, only the wall-clock differs.
+        return _measure_trial_indices(
+            graph, protocol_factory, config, seed, trial_indices, batch
+        )
+    with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+        chunk_results = list(pool.map(_run_chunk, payloads))
+    results: list[RunResult] = []
+    for chunk_result in chunk_results:
+        results.extend(chunk_result)
+    return results
+
+
 def measure_protocol_parallel(
     graph: "nx.Graph | Any",
     protocol_factory: ProtocolFactory | None = None,
@@ -251,6 +377,9 @@ def measure_protocol_parallel(
     seed: int | None = None,
     jobs: int | None = None,
     batch: bool = True,
+    store: Any = None,
+    fresh: bool = False,
+    spec: Any = None,
 ) -> list[RunResult]:
     """Run seeded trials across worker processes; results stay in trial order.
 
@@ -266,41 +395,33 @@ def measure_protocol_parallel(
     randomness and the concatenated results equal the sequential runner's
     trial-for-trial.
 
+    ``store`` makes the call cache-aware exactly as in
+    :func:`measure_protocol_batched`: cached trials are read back, only the
+    missing indices are chunked over workers, and the freshly computed
+    results are persisted (in the parent process — workers never touch the
+    store).
+
     Falls back to in-process execution when only one job is needed or when
     the factory cannot be pickled (e.g. a locally defined closure).
     """
-    graph, protocol_factory, config, trials, seed = _resolve_workload(
-        graph, protocol_factory, config, trials, seed
+    graph, protocol_factory, config, trials, seed, spec = _resolve_workload(
+        graph, protocol_factory, config, trials, seed, spec
     )
     if trials < 1:
         raise AnalysisError(f"trials must be positive, got {trials}")
     jobs = default_jobs() if jobs is None else jobs
     if jobs < 1:
         raise AnalysisError(f"jobs must be positive, got {jobs}")
-    jobs = min(jobs, trials)
-    if jobs == 1:
-        return _measure_trial_indices(
-            graph, protocol_factory, config, seed, range(trials), batch
+    if store is None:
+        return _measure_indices_chunked(
+            graph, protocol_factory, config, seed, range(trials), jobs, batch
         )
-    chunks = _chunks(range(trials), jobs)
-    try:
-        payloads = [
-            pickle.dumps((graph, protocol_factory, config, seed, chunk, batch))
-            for chunk in chunks
-        ]
-    except Exception:
-        # Unpicklable factories (lambdas, local closures) cannot cross a
-        # process boundary; run them in-process instead — the results are
-        # identical, only the wall-clock differs.
-        return _measure_trial_indices(
-            graph, protocol_factory, config, seed, range(trials), batch
-        )
-    with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-        chunk_results = list(pool.map(_run_chunk, payloads))
-    results: list[RunResult] = []
-    for chunk_result in chunk_results:
-        results.extend(chunk_result)
-    return results
+    return _run_through_store(
+        store, spec, seed, range(trials), fresh,
+        lambda missing: _measure_indices_chunked(
+            graph, protocol_factory, config, seed, missing, jobs, batch
+        ),
+    )
 
 
 def run_trials_parallel(
@@ -312,15 +433,21 @@ def run_trials_parallel(
     seed: int | None = None,
     jobs: int | None = None,
     batch: bool = True,
+    store: Any = None,
+    fresh: bool = False,
+    spec: Any = None,
 ) -> StoppingTimeStats:
     """Like :func:`~repro.analysis.stopping_time.run_trials`, multi-process.
 
     Also accepts a :class:`~repro.scenarios.ScenarioSpec` in place of the
-    ``(graph, protocol_factory, config)`` triple.
+    ``(graph, protocol_factory, config)`` triple, and a
+    :class:`~repro.store.ResultStore` through which cached trials are reused
+    (see :func:`measure_protocol_parallel`).
     """
     return aggregate_results(
         measure_protocol_parallel(
             graph, protocol_factory, config,
             trials=trials, seed=seed, jobs=jobs, batch=batch,
+            store=store, fresh=fresh, spec=spec,
         )
     )

@@ -163,6 +163,8 @@ def run_experiment(
     seed: int = 0,
     jobs: int | None = None,
     batch: bool = True,
+    store: Any = None,
+    fresh: bool = False,
 ) -> ExperimentResult:
     """Run a registered experiment and return its sweep points and table rows.
 
@@ -170,7 +172,12 @@ def run_experiment(
     :func:`~repro.analysis.sweep.run_sweep`: ``batch`` (default on) routes
     rank-only cases through the vectorised batch engine, ``jobs`` spreads the
     trials of each case over that many worker processes.  Neither changes the
-    results — same seeds, same stopping times.
+    results — same seeds, same stopping times.  ``store`` (a
+    :class:`~repro.store.ResultStore`) reuses every already-cached trial and
+    persists the rest, so repeating an experiment — or extending it with
+    cases *appended* to its list — only simulates what the store does not
+    yet hold (case seeds are position-derived; see
+    :func:`~repro.analysis.sweep.run_sweep`).
     """
     try:
         experiment = EXPERIMENTS[experiment_id]
@@ -180,7 +187,8 @@ def run_experiment(
         ) from None
     cases = list(experiment.build_cases())
     points = run_sweep(
-        cases, trials=trials or experiment.trials, seed=seed, jobs=jobs, batch=batch
+        cases, trials=trials or experiment.trials, seed=seed, jobs=jobs, batch=batch,
+        store=store, fresh=fresh,
     )
     rows = scaling_table(
         points, bound_names=experiment.bound_names, value_header=experiment.value_header

@@ -1,12 +1,16 @@
-"""Back-compat shim: placements moved to :mod:`repro.scenarios.placements`.
+"""Deprecated back-compat shim: placements live in :mod:`repro.scenarios.placements`.
 
 The placement vocabulary is part of the scenario layer (a
 :class:`~repro.scenarios.ScenarioSpec` names its placement declaratively),
-which sits *below* ``repro.experiments`` in the dependency stack.  Importing
-from here keeps existing code and documentation working.
+which sits *below* ``repro.experiments`` in the dependency stack.  This module
+only re-exports the moved names for old imports; every internal caller was
+routed to :mod:`repro.scenarios.placements` directly, and importing this shim
+emits a :class:`DeprecationWarning`.  It will be removed in a future release.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from ..scenarios.placements import (
     Placement,
@@ -16,6 +20,13 @@ from ..scenarios.placements import (
     single_source_placement,
     spread_placement,
     validate_placement,
+)
+
+warnings.warn(
+    "repro.experiments.workloads is deprecated; import placements from "
+    "repro.scenarios.placements (or repro.scenarios) instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = [

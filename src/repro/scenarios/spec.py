@@ -35,6 +35,7 @@ recipe is resolved into per-node rates when the graph is known.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field, fields, replace
 from functools import cached_property
@@ -399,6 +400,56 @@ class ScenarioSpec:
         return cls.from_dict(data)
 
     # ------------------------------------------------------------------
+    # Content addressing (the result store's key)
+    # ------------------------------------------------------------------
+    def fingerprint_payload(self) -> dict[str, Any]:
+        """The canonical dictionary :meth:`fingerprint` hashes.
+
+        Identity fields (``name``, ``description``) and the Monte Carlo plan
+        (``trials``, ``seed``) are excluded: the fingerprint addresses the
+        *workload* — what one seeded trial computes — so a re-run with more
+        trials, a different root seed, or under a different registry name
+        still hits the same cached trial records (records are keyed by
+        fingerprint **plus** the trial's root seed and index; see
+        :mod:`repro.store`).
+
+        The one exception is the ``random`` placement, whose message
+        placement is drawn at materialisation time from the spec's own seed:
+        there the seed genuinely changes the workload, so it is folded back
+        in as ``materialize_seed``.
+        """
+        payload = self.to_dict()
+        for excluded in ("trials", "seed", "name", "description"):
+            payload.pop(excluded, None)
+        if self.placement == "random":
+            payload["materialize_seed"] = self.seed
+        return payload
+
+    def fingerprint(self) -> str:
+        """Stable content address of this workload: sha256 of canonical JSON.
+
+        Two specs that describe the same workload — regardless of trial
+        count, root seed (except ``random`` placements), name or construction
+        order of their params — share a fingerprint; any change to a field
+        that affects results (topology, n, k, protocol, config knobs, ...)
+        changes it.  This is the shard key of
+        :class:`repro.store.ResultStore`.
+
+        Memoised per instance (the spec is immutable and store-aware runners
+        address it once per trial); ``replace()`` returns a new instance, so
+        the cache can never go stale.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            canonical = json.dumps(
+                self.fingerprint_payload(), sort_keys=True, separators=(",", ":")
+            )
+            cached = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+            # Frozen dataclass: write the memo through __dict__ (not setattr).
+            self.__dict__["_fingerprint"] = cached
+        return cached
+
+    # ------------------------------------------------------------------
     # Materialisation
     # ------------------------------------------------------------------
     def materialize(self) -> "MaterializedScenario":
@@ -648,6 +699,8 @@ class MaterializedScenario:
         seed: int | None = None,
         jobs: int | None = None,
         batch: bool = True,
+        store: Any = None,
+        fresh: bool = False,
     ) -> list[RunResult]:
         """Run the Monte Carlo plan and return every per-trial result.
 
@@ -655,6 +708,11 @@ class MaterializedScenario:
         ingredients (a ``random`` placement, activation rates) were already
         fixed from the spec's seed.  To re-derive those too, materialise
         ``spec.replace(seed=...)`` instead — the CLI's ``--seed`` does that.
+
+        ``store`` (a :class:`~repro.store.ResultStore`) reads cached
+        ``(fingerprint, seed, trial)`` records back instead of recomputing
+        them and persists whatever had to be computed; ``fresh=True``
+        bypasses the reads.
         """
         from ..experiments.parallel import measure_protocol_parallel
 
@@ -666,6 +724,9 @@ class MaterializedScenario:
             seed=self.spec.seed if seed is None else seed,
             jobs=1 if jobs is None else jobs,
             batch=batch,
+            store=store,
+            fresh=fresh,
+            spec=self.spec,
         )
 
     def run(
@@ -675,19 +736,38 @@ class MaterializedScenario:
         seed: int | None = None,
         jobs: int | None = None,
         batch: bool = True,
+        store: Any = None,
+        fresh: bool = False,
     ) -> StoppingTimeStats:
         """Run the Monte Carlo plan and aggregate the stopping-time statistics."""
         from ..core.results import aggregate_results
 
         return aggregate_results(
-            self.measure(trials=trials, seed=seed, jobs=jobs, batch=batch)
+            self.measure(
+                trials=trials, seed=seed, jobs=jobs, batch=batch,
+                store=store, fresh=fresh,
+            )
         )
 
-    def run_single(self, *, seed: int | None = None) -> RunResult:
-        """One sequential-engine run — exactly trial 0 of the Monte Carlo plan."""
-        rng = derive_rng(self.spec.seed if seed is None else seed, "trial-0")
+    def run_single(
+        self, *, seed: int | None = None, store: Any = None, fresh: bool = False
+    ) -> RunResult:
+        """One sequential-engine run — exactly trial 0 of the Monte Carlo plan.
+
+        With a ``store``, trial 0 is served from (and persisted to) the same
+        ``(fingerprint, seed, trial)`` records the batch runners use.
+        """
+        effective_seed = self.spec.seed if seed is None else seed
+        if store is not None and not fresh:
+            cached = store.get(self.spec, 0, seed=effective_seed)
+            if cached is not None:
+                return cached
+        rng = derive_rng(effective_seed, "trial-0")
         process = self.build_process(rng)
-        return GossipEngine(self.graph, process, self.config, rng).run()
+        result = GossipEngine(self.graph, process, self.config, rng).run()
+        if store is not None:
+            store.put(self.spec, 0, result, seed=effective_seed)
+        return result
 
 
 def scenario_case(

@@ -73,3 +73,107 @@ class TestTablesCommand:
         assert "Table 1 (analytic)" in captured.out
         assert "Table 2" in captured.out
         assert "improvement_factor" in captured.out
+
+
+class TestStoreIntegration:
+    """The --store / --no-store / --fresh flags and the `store` subcommand."""
+
+    def _run_args(self, store_path: str, trials: int = 4) -> list[str]:
+        return [
+            "run", "--topology", "ring", "--n", "8", "--k", "4",
+            "--trials", str(trials), "--seed", "1", "--store", store_path,
+        ]
+
+    def test_run_then_cached_rerun(self, tmp_path, capsys):
+        store_path = str(tmp_path / "store")
+        assert main(self._run_args(store_path)) == 0
+        cold = capsys.readouterr().out
+        assert "4 newly computed" in cold
+        assert main(self._run_args(store_path)) == 0
+        warm = capsys.readouterr().out
+        assert "4 trial(s) read from cache" in warm
+        assert "0 newly computed" in warm
+        # Identical statistics line either way.
+        assert cold.splitlines()[0] == warm.splitlines()[0]
+
+    def test_single_run_reads_through_the_store(self, tmp_path, capsys):
+        store_path = str(tmp_path / "store")
+        assert main(self._run_args(store_path, trials=1)) == 0
+        assert "1 newly computed" in capsys.readouterr().out
+        assert main(self._run_args(store_path, trials=1)) == 0
+        out = capsys.readouterr().out
+        assert "1 trial(s) read from cache" in out
+
+    def test_fresh_recomputes_but_appends_nothing(self, tmp_path, capsys):
+        store_path = str(tmp_path / "store")
+        assert main(self._run_args(store_path)) == 0
+        capsys.readouterr()
+        assert main(self._run_args(store_path) + ["--fresh"]) == 0
+        out = capsys.readouterr().out
+        assert "0 trial(s) read from cache" in out
+        assert "0 newly computed" in out
+
+    def test_env_store_and_no_store(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
+        args = ["run", "--topology", "ring", "--n", "8", "--k", "4",
+                "--trials", "2", "--seed", "1"]
+        assert main(args) == 0
+        assert "newly computed" in capsys.readouterr().out
+        assert main(args + ["--no-store"]) == 0
+        assert "newly computed" not in capsys.readouterr().out
+
+    def test_scenario_run_with_store(self, tmp_path, capsys):
+        store_path = str(tmp_path / "store")
+        args = ["scenario", "run", "uniform/ring", "--trials", "3",
+                "--store", store_path]
+        assert main(args) == 0
+        assert "3 newly computed" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "3 trial(s) read from cache" in capsys.readouterr().out
+
+    def test_experiment_with_store(self, tmp_path, capsys):
+        store_path = str(tmp_path / "store")
+        args = ["experiment", "E2-constant-degree", "--trials", "1",
+                "--store", store_path]
+        assert main(args) == 0
+        assert "newly computed" in capsys.readouterr().out
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "0 newly computed" in out
+
+
+class TestStoreCommands:
+    def _populate(self, store_path: str, capsys) -> str:
+        assert main(["run", "--topology", "ring", "--n", "8", "--k", "4",
+                     "--trials", "3", "--seed", "1", "--store", store_path]) == 0
+        capsys.readouterr()
+        from repro.store import ResultStore
+
+        return ResultStore(store_path).fingerprints()[0]
+
+    def test_ls_and_show(self, tmp_path, capsys):
+        store_path = str(tmp_path / "store")
+        fingerprint = self._populate(store_path, capsys)
+        assert main(["store", "ls", "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert fingerprint[:12] in out and "ring" in out
+        assert main(["store", "show", fingerprint[:8], "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert fingerprint in out
+        assert "3 trial(s)" in out
+
+    def test_export_diff_and_gc(self, tmp_path, capsys):
+        store_path = str(tmp_path / "store")
+        self._populate(store_path, capsys)
+        export_path = str(tmp_path / "snapshot.jsonl")
+        assert main(["store", "export", export_path, "--store", store_path]) == 0
+        assert "exported 3 trial record(s)" in capsys.readouterr().out
+        assert main(["store", "diff", store_path, export_path]) == 0
+        out = capsys.readouterr().out
+        assert "3 shared record(s) identical, 0 differing" in out
+        assert main(["store", "gc", "--store", store_path]) == 0
+        assert "kept 1 shard(s)" in capsys.readouterr().out
+
+    def test_missing_store_is_a_clear_error(self, tmp_path, capsys):
+        assert main(["store", "ls", "--store", str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
