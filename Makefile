@@ -5,12 +5,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-slow bench-smoke bench-json bench-check scenarios-check store-check docs-check
+.PHONY: test test-slow bench-smoke bench-json bench-check scenarios-check store-check docs-check docs-api docs-api-check campaigns-check
 
 ## Tier-1 test suite (unit + property + integration).  Tests marked `slow`
-## (the large batch-vs-scalar equivalence sweeps) are skipped here.
+## (the large batch-vs-scalar equivalence sweeps) are skipped here.  The
+## second invocation is the doctest lane: the docstring examples on the
+## declarative layers (ScenarioSpec, ResultStore, the campaign classes) are
+## executable documentation and run under --doctest-modules.
 test:
 	$(PYTHON) -m pytest -x -q
+	$(PYTHON) -m pytest --doctest-modules -q \
+		src/repro/scenarios/spec.py src/repro/scenarios/registry.py \
+		src/repro/store/result_store.py src/repro/analysis/tables.py \
+		src/repro/campaigns
 
 ## Everything, including the slow-marked equivalence sweeps.
 test-slow:
@@ -57,3 +64,32 @@ store-check:
 ## README.md and the quickstart example they mirror.
 docs-check:
 	$(PYTHON) -m pytest tests/test_docs.py -q
+
+## Regenerate the Markdown API reference (docs/api/) for the public
+## repro.scenarios / repro.store / repro.campaigns surfaces.
+docs-api:
+	$(PYTHON) tools/gen_api_docs.py
+
+## Fail if docs/api/ drifted from the code (CI runs this via campaigns-check).
+docs-api-check:
+	$(PYTHON) tools/gen_api_docs.py --check
+
+## Campaign-layer health check: a smoke-size built-in campaign end-to-end
+## through a scratch store (cold run computes, immediate rerun must be fully
+## cached), both report formats rendered, and the API-reference drift check.
+campaigns-check:
+	rm -rf benchmarks/output/campaigns-check
+	$(PYTHON) -m repro campaign run table1 --trials 1 \
+		--store benchmarks/output/campaigns-check/store \
+		--report-dir benchmarks/output/campaigns-check/report
+	$(PYTHON) -m repro campaign run table1 --trials 1 \
+		--store benchmarks/output/campaigns-check/store \
+		--report-dir benchmarks/output/campaigns-check/report \
+		| grep -q "0 newly computed"
+	test -s benchmarks/output/campaigns-check/report/report.md
+	test -s benchmarks/output/campaigns-check/report/report.html
+	$(PYTHON) -m repro campaign report table1 --trials 1 \
+		--store benchmarks/output/campaigns-check/store \
+		--report-dir benchmarks/output/campaigns-check/report-offline \
+		--format md > /dev/null
+	$(PYTHON) tools/gen_api_docs.py --check

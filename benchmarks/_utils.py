@@ -96,6 +96,27 @@ def cached_run(workload, *, trials=None, seed=None):
     return aggregate_results(cached_measure(workload, trials=trials, seed=seed))
 
 
+def campaign_unit_specs(name, *, group=None, units=None):
+    """Resolved scenario specs of a campaign's units, in execution order.
+
+    The table benchmarks that reproduce a campaign's evidence pull their
+    workloads from the campaign registry instead of re-declaring them, so a
+    benchmark run, a ``python -m repro campaign run`` and a CLI scenario run
+    of the same unit are the same seeded trials — and share store records.
+    ``group`` filters by unit group; ``units`` selects explicit unit names.
+    """
+    from repro.campaigns import get_campaign
+
+    campaign = get_campaign(name)
+    selected = campaign.execution_order()
+    if group is not None:
+        selected = [unit for unit in selected if unit.group == group]
+    if units is not None:
+        wanted = set(units)
+        selected = [unit for unit in selected if unit.name in wanted]
+    return [unit.resolve() for unit in selected]
+
+
 def record_trials(spec, results, *, seed=None) -> int:
     """Archive already-computed trial results (index order) in the store.
 

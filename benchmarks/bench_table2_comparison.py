@@ -6,15 +6,16 @@ expressions are evaluated on real constructed graphs (measuring ``γ`` and
 the paper's purely analytic table — the *measured* uniform-AG stopping time is
 put next to both bounds to show which one tracks reality more closely.
 
-The measured column runs through the scenario layer: one
-:class:`~repro.scenarios.ScenarioSpec` per topology family, batched runner.
+The measured column is a thin invocation of the ``table2`` campaign
+(:mod:`repro.campaigns.registry`): the specs are the campaign's units, so
+this benchmark, ``python -m repro campaign run table2`` and the full-paper
+campaign all run — and cache — the same seeded trials.
 """
 
 from __future__ import annotations
 
-from _utils import PEDANTIC, bench_store, report
+from _utils import PEDANTIC, bench_store, campaign_unit_specs, report
 from repro.analysis import measured_rows, table2_rows
-from repro.scenarios import ScenarioSpec, default_scenario_config
 
 N = 32
 TRIALS = 3
@@ -22,16 +23,11 @@ TRIALS = 3
 
 def _run():
     rows = table2_rows(N, N)
-    specs = [
-        ScenarioSpec(
-            topology=row["graph"],
-            n=N,
-            config=default_scenario_config(max_rounds=500_000),
-            trials=TRIALS,
-            seed=606,
-        )
-        for row in rows
-    ]
+    # The workloads come from the table2 campaign's measured units (same
+    # topology order as the analytic rows; asserted below).
+    specs = campaign_unit_specs("table2", group="measured")
+    assert [spec.topology for spec in specs] == [row["graph"] for row in rows]
+    assert all(spec.trials == TRIALS and spec.n == N for spec in specs)
     # The measured column reads through the persistent result store: adding a
     # topology to the table reuses every previously archived trial (and the
     # batched runner is bit-identical to the sequential path either way).

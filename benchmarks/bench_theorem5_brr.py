@@ -7,9 +7,11 @@ model.  Also checks Lemma 2 structurally: the degree sum along any shortest
 path from the root is at most ``3n``.
 
 Standalone tree construction is a first-class scenario protocol
-(``protocol="spanning_tree"``), so the workloads here are plain
-:class:`~repro.scenarios.ScenarioSpec` values; the tree depth comes out of
-each trial's result metadata.
+(``protocol="spanning_tree"``); the per-topology broadcast sweep is a thin
+invocation of the ``theorem5`` campaign (:mod:`repro.campaigns.registry`),
+whose units this benchmark shares — and whose store records it reuses — with
+``python -m repro campaign run theorem5``.  The tree depth comes out of each
+trial's result metadata.
 """
 
 from __future__ import annotations
@@ -17,33 +19,33 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from _utils import PEDANTIC, cached_measure, report
+from _utils import PEDANTIC, cached_measure, campaign_unit_specs, report
 from repro.analysis import brr_broadcast_upper_bound
-from repro.core import SimulationConfig, TimeModel
+from repro.core import TimeModel
 from repro.graphs import max_shortest_path_degree_sum
-from repro.scenarios import ScenarioSpec
 
 TRIALS = 3
 TOPOLOGIES = ["line", "grid", "barbell", "complete", "binary_tree"]
 N = 32
 
 
-def _brr_spec(topology: str, n: int, time_model: TimeModel) -> ScenarioSpec:
-    return ScenarioSpec(
-        topology=topology,
-        n=n,
-        protocol="spanning_tree",
-        spanning_tree="brr",
-        config=SimulationConfig(time_model=time_model, max_rounds=100 * n),
-        trials=TRIALS,
-        seed=0,
+def _brr_spec(topology: str, n: int, time_model: TimeModel):
+    """One broadcast workload — the theorem5 campaign's unit, resized to n."""
+    (spec,) = campaign_unit_specs(
+        "theorem5", units=[f"brr-{topology}-{time_model.value}"]
     )
+    if n == spec.n:
+        return spec
+    return spec.replace(n=n, config=spec.config.replace(max_rounds=100 * n))
 
 
 def _broadcast_rows(time_model: TimeModel):
+    specs = campaign_unit_specs("theorem5", group=time_model.value)
+    assert [spec.topology for spec in specs] == TOPOLOGIES
+    assert all(spec.n == N and spec.trials == TRIALS for spec in specs)
     rows = []
-    for topology in TOPOLOGIES:
-        scenario = _brr_spec(topology, N, time_model).materialize()
+    for spec in specs:
+        scenario = spec.materialize()
         # All trials in one lockstep batch engine — bit-identical to running
         # GossipEngine per trial with the same generators, just faster — and
         # read through the shared result store on re-runs.
@@ -52,7 +54,7 @@ def _broadcast_rows(time_model: TimeModel):
         depths = [result.metadata["tree_depth"] for result in results]
         rows.append(
             {
-                "graph": topology,
+                "graph": spec.topology,
                 "n": scenario.n,
                 "mean_rounds": round(float(np.mean(rounds)), 1),
                 "max_rounds": int(np.max(rounds)),

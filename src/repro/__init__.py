@@ -27,7 +27,11 @@ The package is organised bottom-up:
   per-trial results keyed by ``(spec fingerprint, seed, trial)`` in
   append-only JSONL shards; every runner reads through it, making sweeps
   resumable and re-runs free,
-* :mod:`repro.experiments` — named experiments, trial runners and reporting.
+* :mod:`repro.experiments` — named experiments, trial runners and reporting,
+* :mod:`repro.campaigns` — declarative experiment campaigns: named sets of
+  scenario sweeps (``table1`` ... ``full-paper``) compiled to a DAG,
+  executed incrementally through the result store, and rendered as
+  self-documenting Markdown/HTML reports.
 
 Quickstart
 ----------
@@ -41,6 +45,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from .campaigns import (
+    CAMPAIGNS,
+    ArtifactSpec,
+    CampaignResult,
+    CampaignSpec,
+    CampaignUnit,
+    campaign_names,
+    get_campaign,
+    load_campaign_file,
+    register_campaign,
+    run_campaign,
+    write_report,
+)
 from .core import (
     DEFAULT_SEED,
     GossipAction,
@@ -125,6 +142,17 @@ __all__ = [
     "scenario_case",
     "scenario_names",
     "ResultStore",
+    "CAMPAIGNS",
+    "ArtifactSpec",
+    "CampaignResult",
+    "CampaignSpec",
+    "CampaignUnit",
+    "campaign_names",
+    "get_campaign",
+    "load_campaign_file",
+    "register_campaign",
+    "run_campaign",
+    "write_report",
     "quick_run",
 ]
 

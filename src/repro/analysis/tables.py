@@ -47,7 +47,7 @@ from .bounds import (
     uniform_ag_upper_bound,
 )
 
-__all__ = ["table1_rows", "table2_rows", "measured_rows", "format_table"]
+__all__ = ["table1_rows", "table2_rows", "measured_rows", "format_table", "rows_to_csv"]
 
 
 def measured_rows(
@@ -228,6 +228,35 @@ def table2_rows(n: int, k: int) -> list[dict[str, Any]]:
             }
         )
     return rows
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Render table rows (dicts sharing the same keys) as an RFC-4180 CSV string.
+
+    The campaign report's CSV extracts go through here: deterministic column
+    order (the rows' own key order), ``\\n`` line endings, quoting only where
+    needed — so a re-rendered extract of cached results is byte-identical.
+
+    >>> rows_to_csv([{"n": 8, "mean": 12.5}, {"n": 16, "mean": 30.0}])
+    'n,mean\\n8,12.5\\n16,30.0\\n'
+    """
+    if not rows:
+        raise AnalysisError("rows_to_csv requires at least one row")
+    headers = list(rows[0].keys())
+    for row in rows:
+        if list(row.keys()) != headers:
+            raise AnalysisError("all rows must share the same columns, in the same order")
+
+    def cell(value: Any) -> str:
+        text = str(value)
+        if any(ch in text for ch in (",", '"', "\n")):
+            escaped = text.replace('"', '""')
+            return f'"{escaped}"'
+        return text
+
+    lines = [",".join(cell(header) for header in headers)]
+    lines.extend(",".join(cell(row[header]) for header in headers) for row in rows)
+    return "\n".join(lines) + "\n"
 
 
 def format_table(rows: Sequence[Mapping[str, Any]], *, title: str | None = None) -> str:

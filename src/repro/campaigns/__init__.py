@@ -1,0 +1,52 @@
+"""Declarative experiment campaigns with incremental execution and reports.
+
+A :class:`CampaignSpec` names a coordinated set of scenario sweeps (the
+units), their dependency DAG and the derived artifacts its report carries;
+:func:`run_campaign` executes it incrementally through a
+:class:`~repro.store.ResultStore` (cached units are skipped, interrupted
+campaigns resume); :func:`write_report` renders the outcome as a
+self-documenting Markdown + static-HTML report.  Built-in campaigns
+(``table1``, ``table2``, ``theorem2``, ``theorem5``, ``full-paper``) live in
+the :mod:`~repro.campaigns.registry`; ``python -m repro campaign --help``
+drives everything from the CLI.  See ``docs/campaigns.md``.
+"""
+
+from .registry import CAMPAIGNS, campaign_names, get_campaign, register_campaign
+from .report import (
+    TIMINGS_MARKER,
+    render_html,
+    render_markdown,
+    render_text_summary,
+    report_body,
+    write_report,
+)
+from .runner import ArtifactResult, CampaignResult, UnitOutcome, run_campaign
+from .spec import (
+    ARTIFACT_KINDS,
+    ArtifactSpec,
+    CampaignSpec,
+    CampaignUnit,
+    load_campaign_file,
+)
+
+__all__ = [
+    "ARTIFACT_KINDS",
+    "ArtifactSpec",
+    "CampaignSpec",
+    "CampaignUnit",
+    "load_campaign_file",
+    "CAMPAIGNS",
+    "campaign_names",
+    "get_campaign",
+    "register_campaign",
+    "ArtifactResult",
+    "CampaignResult",
+    "UnitOutcome",
+    "run_campaign",
+    "TIMINGS_MARKER",
+    "render_html",
+    "render_markdown",
+    "render_text_summary",
+    "report_body",
+    "write_report",
+]

@@ -1,0 +1,382 @@
+"""Built-in campaign registry: the paper's evaluation as named campaigns.
+
+Each entry reproduces one coordinated piece of the paper's evidence —
+``table1`` and ``table2`` for the two tables, ``theorem2`` and ``theorem5``
+for the queueing-reduction and broadcast-tree experiments — and
+``full-paper`` strings them together into the one-command reproduction
+behind ``docs/reproducing_results.md``::
+
+    python -m repro campaign list
+    python -m repro campaign run table1 --trials 2
+    python -m repro campaign run full-paper
+
+The benchmark scripts that render the same tables
+(``benchmarks/bench_table2_comparison.py``,
+``benchmarks/bench_theorem5_brr.py``) pull their workload specs *from this
+registry*, so a campaign run, a benchmark run and a CLI scenario run of the
+same unit are the same seeded trials — and share store records.
+
+Registering is open: :func:`register_campaign` makes a user-built
+:class:`~repro.campaigns.CampaignSpec` addressable by name, exactly like
+:func:`repro.scenarios.register_scenario` does for scenarios.
+"""
+
+from __future__ import annotations
+
+from ..core.config import SimulationConfig, TimeModel
+from ..errors import CampaignError
+from ..scenarios.registry import suggest_names
+from ..scenarios.spec import ScenarioSpec, default_scenario_config
+from .spec import ArtifactSpec, CampaignSpec, CampaignUnit
+
+__all__ = [
+    "CAMPAIGNS",
+    "register_campaign",
+    "get_campaign",
+    "campaign_names",
+]
+
+#: Name → campaign.  Populated below; extendable through :func:`register_campaign`.
+CAMPAIGNS: dict[str, CampaignSpec] = {}
+
+
+def register_campaign(campaign: CampaignSpec, *, overwrite: bool = False) -> CampaignSpec:
+    """Add a campaign to the registry and return it."""
+    if campaign.name in CAMPAIGNS and not overwrite:
+        raise CampaignError(
+            f"campaign {campaign.name!r} is already registered (pass overwrite=True)"
+        )
+    CAMPAIGNS[campaign.name] = campaign
+    return campaign
+
+
+def get_campaign(name: str) -> CampaignSpec:
+    """Look a campaign up by name.
+
+    An unknown name raises :class:`~repro.errors.CampaignError` with a
+    close-match suggestion (mirroring
+    :func:`repro.scenarios.get_scenario`), so CLI typos exit cleanly.
+
+    >>> get_campaign("table1").units[0].scenario
+    'uniform/line'
+    """
+    try:
+        return CAMPAIGNS[name]
+    except KeyError:
+        raise CampaignError(
+            f"unknown campaign {name!r}{suggest_names(name, CAMPAIGNS)} "
+            f"(known: {sorted(CAMPAIGNS)})"
+        ) from None
+
+
+def campaign_names() -> list[str]:
+    """Sorted names of every registered campaign."""
+    return sorted(CAMPAIGNS)
+
+
+# ----------------------------------------------------------------------
+# Built-in campaigns.
+#
+# Unit sizes follow the sources they reproduce: the table1 units are the
+# registered CI-sized scenarios; the table2 / theorem2 / theorem5 units are
+# the exact workloads (topology, n, config, trials, seed) of the benchmark
+# scripts, so campaign runs and benchmark runs share store records.
+# ----------------------------------------------------------------------
+
+_TABLE1_UNIFORM = ("line", "ring", "grid", "complete", "binary_tree", "barbell")
+_TABLE1_TAG = (
+    "tag/brr-barbell",
+    "tag/uniform-broadcast-barbell",
+    "tag/brr-grid",
+    "tag/brr-barbell-async",
+    "tag/is-barbell",
+    "tag/is-clique-chain",
+)
+
+register_campaign(
+    CampaignSpec(
+        name="table1",
+        title="Table 1 — protocol comparison (Theorems 1, 3, 4, 7-8)",
+        description=(
+            "The paper's headline table: uniform algebraic gossip on every "
+            "topology family next to TAG composed with each spanning-tree "
+            "protocol, with the analytic bounds alongside the measured "
+            "stopping times."
+        ),
+        units=tuple(
+            CampaignUnit(
+                name=f"uniform-{topology}",
+                scenario=f"uniform/{topology}",
+                group="uniform",
+            )
+            for topology in _TABLE1_UNIFORM
+        )
+        + (
+            CampaignUnit(
+                name="uniform-ring-all-to-all",
+                scenario="uniform/ring-all-to-all",
+                group="uniform",
+            ),
+        )
+        + tuple(
+            CampaignUnit(
+                name=scenario.split("/", 1)[1],
+                scenario=scenario,
+                group="tag",
+            )
+            for scenario in _TABLE1_TAG
+        ),
+        artifacts=(
+            ArtifactSpec(
+                kind="table1-analytic",
+                title="Table 1 (analytic bounds)",
+                params={"n": 16, "k": 8, "topologies": ["ring", "grid", "barbell"]},
+            ),
+            ArtifactSpec(
+                kind="measured-table",
+                title="Table 1 rows — measured stopping times (uniform AG)",
+                units=tuple(f"uniform-{t}" for t in _TABLE1_UNIFORM)
+                + ("uniform-ring-all-to-all",),
+            ),
+            ArtifactSpec(
+                kind="measured-table",
+                title="Table 1 rows — measured stopping times (TAG)",
+                units=tuple(s.split("/", 1)[1] for s in _TABLE1_TAG),
+            ),
+            ArtifactSpec(
+                kind="rank-evolution",
+                title="Rank evolution on the barbell (uniform vs TAG)",
+                units=("uniform-barbell", "brr-barbell"),
+            ),
+        ),
+    )
+)
+
+# The measured column of Table 2 — the same specs
+# benchmarks/bench_table2_comparison.py runs (n=32, trials=3, seed=606).
+_TABLE2_N = 32
+_TABLE2_TRIALS = 3
+_TABLE2_SEED = 606
+_TABLE2_FAMILIES = ("line", "grid", "binary_tree")
+
+register_campaign(
+    CampaignSpec(
+        name="table2",
+        title="Table 2 — this paper's bound vs Haeupler's, with measured times",
+        description=(
+            "Both bound expressions evaluated on real constructed graphs "
+            "(gamma and lambda measured), plus the measured uniform-AG "
+            "stopping time per family — the same seeded workloads as "
+            "benchmarks/bench_table2_comparison.py."
+        ),
+        units=tuple(
+            CampaignUnit(
+                name=f"uniform-{topology}",
+                spec=ScenarioSpec(
+                    topology=topology,
+                    n=_TABLE2_N,
+                    config=default_scenario_config(max_rounds=500_000),
+                    trials=_TABLE2_TRIALS,
+                    seed=_TABLE2_SEED,
+                ),
+                group="measured",
+            )
+            for topology in _TABLE2_FAMILIES
+        ),
+        artifacts=(
+            ArtifactSpec(
+                kind="table2-analytic",
+                title="Table 2 (analytic, measured graph parameters)",
+                params={"n": _TABLE2_N, "k": _TABLE2_N},
+            ),
+            ArtifactSpec(
+                kind="measured-table",
+                title="Table 2 measured stopping times",
+            ),
+            ArtifactSpec(kind="csv", title="Per-trial stopping times"),
+        ),
+    )
+)
+
+# The gossip side of the Theorem 2 reduction — the same specs
+# benchmarks/bench_theorem2_queueing.py measures (n=16, GF(2), seed=708).
+_THEOREM2_TRIALS = 3
+_THEOREM2_SEED = 708
+
+register_campaign(
+    CampaignSpec(
+        name="theorem2",
+        title="Theorem 2 — gossip side of the queueing reduction",
+        description=(
+            "The measured uniform-AG stopping times the queueing-network "
+            "prediction must upper-bound (the dominance chain itself is "
+            "analytic; see benchmarks/bench_theorem2_queueing.py), plus the "
+            "Theorem 3 all-to-all regime on the ring."
+        ),
+        units=tuple(
+            CampaignUnit(
+                name=f"uniform-{topology}-gf2",
+                spec=ScenarioSpec(
+                    topology=topology,
+                    n=16,
+                    config=SimulationConfig(
+                        field_size=2,
+                        payload_length=2,
+                        time_model=TimeModel.SYNCHRONOUS,
+                        max_rounds=500_000,
+                    ),
+                    trials=_THEOREM2_TRIALS,
+                    seed=_THEOREM2_SEED,
+                ),
+                group="reduction",
+            )
+            for topology in ("ring", "grid")
+        )
+        + (
+            CampaignUnit(
+                name="ring-all-to-all",
+                scenario="uniform/ring-all-to-all",
+                group="reduction",
+            ),
+        ),
+        artifacts=(
+            ArtifactSpec(
+                kind="measured-table",
+                title="Measured gossip stopping times (queueing bound must sit above)",
+            ),
+            ArtifactSpec(kind="csv", title="Per-trial stopping times"),
+        ),
+    )
+)
+
+# Theorem 5 — standalone B_RR broadcast, one unit per (topology, time model);
+# the same specs benchmarks/bench_theorem5_brr.py sweeps (n=32, seed=0).
+_THEOREM5_N = 32
+_THEOREM5_TRIALS = 3
+_THEOREM5_TOPOLOGIES = ("line", "grid", "barbell", "complete", "binary_tree")
+
+
+def _theorem5_spec(topology: str, time_model: TimeModel) -> ScenarioSpec:
+    """One standalone-B_RR broadcast workload of the Theorem 5 sweep."""
+    return ScenarioSpec(
+        topology=topology,
+        n=_THEOREM5_N,
+        protocol="spanning_tree",
+        spanning_tree="brr",
+        config=SimulationConfig(
+            time_model=time_model, max_rounds=100 * _THEOREM5_N
+        ),
+        trials=_THEOREM5_TRIALS,
+        seed=0,
+    )
+
+
+register_campaign(
+    CampaignSpec(
+        name="theorem5",
+        title="Theorem 5 — round-robin broadcast B_RR finishes in O(n) rounds",
+        description=(
+            "Standalone B_RR spanning-tree broadcast on five topologies in "
+            "both time models (the 3n bound), plus the Section 6 IS tree "
+            "construction — the same seeded workloads as "
+            "benchmarks/bench_theorem5_brr.py."
+        ),
+        units=tuple(
+            CampaignUnit(
+                name=f"brr-{topology}-{time_model.value}",
+                spec=_theorem5_spec(topology, time_model),
+                group=time_model.value,
+            )
+            for time_model in (TimeModel.SYNCHRONOUS, TimeModel.ASYNCHRONOUS)
+            for topology in _THEOREM5_TOPOLOGIES
+        )
+        + (
+            CampaignUnit(
+                name="is-clique-chain",
+                scenario="tree/is-clique-chain",
+                group="is",
+            ),
+        ),
+        artifacts=(
+            ArtifactSpec(
+                kind="measured-table",
+                title="B_RR broadcast rounds, synchronous (bound: 3n)",
+                units=tuple(
+                    f"brr-{t}-synchronous" for t in _THEOREM5_TOPOLOGIES
+                ),
+            ),
+            ArtifactSpec(
+                kind="measured-table",
+                title="B_RR broadcast rounds, asynchronous (bound: O(n) w.h.p.)",
+                units=tuple(
+                    f"brr-{t}-asynchronous" for t in _THEOREM5_TOPOLOGIES
+                ),
+            ),
+        ),
+    )
+)
+
+
+def _prefixed(campaign: CampaignSpec, prefix: str) -> tuple[CampaignUnit, ...]:
+    """The campaign's units renamed ``<prefix>/<unit>`` (deps rewritten too)."""
+    return tuple(
+        CampaignUnit(
+            name=f"{prefix}/{unit.name}",
+            scenario=unit.scenario,
+            spec=unit.spec,
+            trials=unit.trials,
+            seed=unit.seed,
+            group=unit.group or prefix,
+            after=tuple(f"{prefix}/{dep}" for dep in unit.after),
+        )
+        for unit in campaign.units
+    )
+
+
+def _prefixed_artifacts(
+    campaign: CampaignSpec, prefix: str
+) -> tuple[ArtifactSpec, ...]:
+    """The campaign's artifacts with unit references rewritten to the prefix.
+
+    An empty ``units`` selection means "every unit of *this* campaign", so in
+    the combined campaign it must become the explicit prefixed list.
+    """
+    return tuple(
+        ArtifactSpec(
+            kind=artifact.kind,
+            # Titles are prefixed too: CSV-producing artifact labels must stay
+            # unique across the union (they name the report's side files).
+            title=f"{prefix}: {artifact.label}",
+            units=tuple(
+                f"{prefix}/{ref}"
+                for ref in (artifact.units or tuple(u.name for u in campaign.units))
+            ),
+            params=artifact.params,
+        )
+        for artifact in campaign.artifacts
+    )
+
+
+def _full_paper() -> CampaignSpec:
+    """Every built-in campaign in one DAG: the whole-paper reproduction."""
+    parts = [CAMPAIGNS[name] for name in ("table1", "table2", "theorem2", "theorem5")]
+    units: tuple[CampaignUnit, ...] = ()
+    artifacts: tuple[ArtifactSpec, ...] = ()
+    for part in parts:
+        units += _prefixed(part, part.name)
+        artifacts += _prefixed_artifacts(part, part.name)
+    return CampaignSpec(
+        name="full-paper",
+        title="Full paper reproduction (Tables 1-2, Theorems 2 and 5)",
+        description=(
+            "The union of the table1, table2, theorem2 and theorem5 "
+            "campaigns: every simulated number behind the paper's evaluation "
+            "in one resumable, store-backed run.  Unit names are prefixed "
+            "with their source campaign."
+        ),
+        units=units,
+        artifacts=artifacts,
+    )
+
+
+register_campaign(_full_paper())

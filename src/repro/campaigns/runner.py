@@ -1,0 +1,411 @@
+"""Incremental campaign execution through the persistent result store.
+
+:func:`run_campaign` is the execution engine of the campaign layer: it takes
+a :class:`~repro.campaigns.CampaignSpec`, compiles the units into their DAG
+order, and runs each unit's Monte Carlo plan **through** a
+:class:`~repro.store.ResultStore` — per unit, only the
+``(fingerprint, seed, trial)`` records the store does not already hold are
+simulated, so
+
+* an interrupted campaign resumes where it stopped (completed units are
+  served from cache, the interrupted unit finishes its missing trials),
+* a repeated campaign simulates nothing (``store.puts == 0``), and
+* a campaign extended with new units computes only those.
+
+Execution reuses one worker pool across all units
+(:func:`~repro.experiments.parallel.shared_process_pool`) when ``jobs > 1``,
+instead of forking a fresh pool per sweep.  The outcome —
+:class:`CampaignResult` with per-unit cached/computed counts, timings,
+store counters and evaluated artifacts — is what
+:mod:`repro.campaigns.report` renders.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from ..analysis.tables import table1_rows, table2_rows
+from ..core.results import RunResult, StoppingTimeStats, aggregate_results
+from ..core.rng import derive_rng
+from ..errors import CampaignError
+from ..experiments.parallel import measure_protocol_parallel, shared_process_pool
+from ..graphs.topologies import build_topology
+from ..scenarios.spec import ScenarioSpec
+from .spec import ArtifactSpec, CampaignSpec, CampaignUnit
+
+__all__ = ["UnitOutcome", "ArtifactResult", "CampaignResult", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class UnitOutcome:
+    """What happened to one campaign unit: plan, cache split, statistics.
+
+    ``cached_trials`` / ``computed_trials`` partition the unit's trial plan:
+    a fully warm unit is *cached* (nothing simulated), a cold one *computed*,
+    an interrupted-and-resumed one *partial*.  ``seconds`` is wall-clock and
+    therefore excluded from the deterministic report body.
+    """
+
+    unit: CampaignUnit
+    spec: ScenarioSpec
+    fingerprint: str
+    trials: int
+    seed: int
+    cached_trials: int
+    computed_trials: int
+    stats: StoppingTimeStats
+    results: tuple[RunResult, ...]
+    n: int
+    k: int
+    seconds: float
+
+    @property
+    def status(self) -> str:
+        """``cached`` | ``computed`` | ``partial`` — the unit's cache verdict."""
+        if self.computed_trials == 0:
+            return "cached"
+        if self.cached_trials == 0:
+            return "computed"
+        return "partial"
+
+
+@dataclass(frozen=True)
+class ArtifactResult:
+    """One evaluated report artifact: table rows, CSV text and/or curves."""
+
+    artifact: ArtifactSpec
+    rows: tuple[Mapping[str, Any], ...] = ()
+    csv: str = ""
+    #: ``rank-evolution`` only: unit name → (round, min, median, max) tuples.
+    curves: tuple[tuple[str, tuple[tuple[float, float, float, float], ...]], ...] = ()
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """The full outcome of :func:`run_campaign`, ready for report rendering."""
+
+    campaign: CampaignSpec
+    outcomes: tuple[UnitOutcome, ...]
+    artifacts: tuple[ArtifactResult, ...]
+    store_root: str
+    store_hits: int
+    store_puts: int
+    trials_override: "int | None"
+    seed_override: "int | None"
+    jobs: "int | None"
+    seconds: float
+
+    @property
+    def total_trials(self) -> int:
+        return sum(outcome.trials for outcome in self.outcomes)
+
+    @property
+    def cached_trials(self) -> int:
+        return sum(outcome.cached_trials for outcome in self.outcomes)
+
+    @property
+    def computed_trials(self) -> int:
+        return sum(outcome.computed_trials for outcome in self.outcomes)
+
+    def outcome(self, unit_name: str) -> UnitOutcome:
+        """Look one unit's outcome up by name."""
+        for outcome in self.outcomes:
+            if outcome.unit.name == unit_name:
+                return outcome
+        raise CampaignError(
+            f"campaign {self.campaign.name!r} has no outcome for unit {unit_name!r}"
+        )
+
+
+def _run_unit(
+    unit: CampaignUnit,
+    spec: ScenarioSpec,
+    *,
+    store: Any,
+    jobs: "int | None",
+    batch: bool,
+    fresh: bool,
+    offline: bool,
+) -> UnitOutcome:
+    """Execute one unit's Monte Carlo plan through the store."""
+    scenario = spec.materialize()
+    missing_before = store.missing_trials(spec)
+    if offline and missing_before:
+        raise CampaignError(
+            f"unit {unit.name!r} is not fully cached in {store.root}: "
+            f"{len(missing_before)}/{spec.trials} trial(s) missing "
+            f"(indices {missing_before[:8]}"
+            f"{'...' if len(missing_before) > 8 else ''}) — execute it first "
+            "('campaign run'), then render the report"
+        )
+    started = time.perf_counter()
+    results = measure_protocol_parallel(
+        scenario,
+        trials=spec.trials,
+        seed=spec.seed,
+        jobs=1 if jobs is None else jobs,
+        batch=batch,
+        store=store,
+        fresh=fresh,
+    )
+    seconds = time.perf_counter() - started
+    computed = spec.trials if fresh else len(missing_before)
+    return UnitOutcome(
+        unit=unit,
+        spec=spec,
+        fingerprint=spec.fingerprint(),
+        trials=spec.trials,
+        seed=spec.seed,
+        cached_trials=spec.trials - computed,
+        computed_trials=computed,
+        stats=aggregate_results(results),
+        results=tuple(results),
+        n=scenario.n,
+        k=scenario.k,
+        seconds=seconds,
+    )
+
+
+# ----------------------------------------------------------------------
+# Artifact evaluation
+# ----------------------------------------------------------------------
+def _selected(
+    artifact: ArtifactSpec, outcomes: Sequence[UnitOutcome]
+) -> list[UnitOutcome]:
+    """The outcomes an artifact covers (its unit list, or every unit)."""
+    if not artifact.units:
+        return list(outcomes)
+    by_name = {outcome.unit.name: outcome for outcome in outcomes}
+    return [by_name[name] for name in artifact.units]
+
+
+def _measured_table(
+    artifact: ArtifactSpec, outcomes: Sequence[UnitOutcome]
+) -> ArtifactResult:
+    rows = []
+    for outcome in _selected(artifact, outcomes):
+        scenario_label = outcome.unit.scenario or outcome.spec.name or "(inline)"
+        rows.append(
+            {
+                "unit": outcome.unit.name,
+                "scenario": scenario_label,
+                "topology": outcome.spec.topology,
+                "n": outcome.n,
+                "k": outcome.k,
+                "trials": outcome.trials,
+                "mean_rounds": round(outcome.stats.mean, 2),
+                "p95_rounds": round(outcome.stats.whp, 2),
+            }
+        )
+    return ArtifactResult(artifact=artifact, rows=tuple(rows))
+
+
+def _table1_analytic(artifact: ArtifactSpec, _: Sequence[UnitOutcome]) -> ArtifactResult:
+    params = dict(artifact.params)
+    n = int(params.get("n", 16))
+    k = int(params.get("k", 8))
+    topologies = params.get("topologies", ("ring", "grid", "barbell"))
+    graphs = {name: build_topology(name, n) for name in topologies}
+    return ArtifactResult(artifact=artifact, rows=tuple(table1_rows(n, k, graphs=graphs)))
+
+
+def _table2_analytic(artifact: ArtifactSpec, _: Sequence[UnitOutcome]) -> ArtifactResult:
+    params = dict(artifact.params)
+    n = int(params.get("n", 32))
+    k = int(params.get("k", n))
+    return ArtifactResult(artifact=artifact, rows=tuple(table2_rows(n, k)))
+
+
+def _csv_extract(
+    artifact: ArtifactSpec, outcomes: Sequence[UnitOutcome]
+) -> ArtifactResult:
+    from ..analysis.tables import rows_to_csv
+
+    rows = []
+    for outcome in _selected(artifact, outcomes):
+        for trial, result in enumerate(outcome.results):
+            rows.append(
+                {
+                    "unit": outcome.unit.name,
+                    "fingerprint": outcome.fingerprint[:12],
+                    "seed": outcome.seed,
+                    "trial": trial,
+                    "rounds": result.rounds,
+                    "timeslots": result.timeslots,
+                    "completed": result.completed,
+                    "messages_sent": result.messages_sent,
+                    "helpful_messages": result.helpful_messages,
+                }
+            )
+    return ArtifactResult(artifact=artifact, csv=rows_to_csv(rows))
+
+
+def _rank_evolution(
+    artifact: ArtifactSpec, outcomes: Sequence[UnitOutcome]
+) -> ArtifactResult:
+    """Per-round rank curve of each selected unit's trial 0.
+
+    Recomputed sequentially with a :class:`~repro.analysis.ProgressRecorder`
+    (the batch engines do not record per-round snapshots); one trial per
+    unit, derived from the same ``trial-0`` stream as
+    :meth:`~repro.scenarios.MaterializedScenario.run_single`, so the curve's
+    endpoint matches the stored trial-0 stopping time.
+    """
+    from ..analysis.progress import ProgressRecorder
+    from ..gossip.engine import GossipEngine
+
+    curves = []
+    for outcome in _selected(artifact, outcomes):
+        if outcome.spec.protocol not in ("uniform", "tag"):
+            raise CampaignError(
+                f"rank-evolution artifact {artifact.label!r}: unit "
+                f"{outcome.unit.name!r} runs protocol "
+                f"{outcome.spec.protocol!r}, which reports no decoder ranks "
+                "(uniform/tag only)"
+            )
+        scenario = outcome.spec.materialize()
+        rng = derive_rng(outcome.seed, "trial-0")
+        recorder = ProgressRecorder(scenario.build_process(rng))
+        GossipEngine(scenario.graph, recorder, scenario.config, rng).run()
+        points = tuple(
+            (
+                float(snap.round_index),
+                float(snap.min_rank),
+                float(snap.median_rank),
+                float(snap.max_rank),
+            )
+            for snap in recorder.snapshots
+        )
+        curves.append((outcome.unit.name, points))
+    rows = [
+        {
+            "unit": name,
+            "round": int(point[0]),
+            "min_rank": point[1],
+            "median_rank": point[2],
+            "max_rank": point[3],
+        }
+        for name, points in curves
+        for point in points
+    ]
+    from ..analysis.tables import rows_to_csv
+
+    return ArtifactResult(
+        artifact=artifact,
+        csv=rows_to_csv(rows) if rows else "",
+        curves=tuple(curves),
+    )
+
+
+_ARTIFACT_BUILDERS: dict[
+    str, Callable[[ArtifactSpec, Sequence[UnitOutcome]], ArtifactResult]
+] = {
+    "measured-table": _measured_table,
+    "table1-analytic": _table1_analytic,
+    "table2-analytic": _table2_analytic,
+    "csv": _csv_extract,
+    "rank-evolution": _rank_evolution,
+}
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    *,
+    store: Any,
+    trials: "int | None" = None,
+    seed: "int | None" = None,
+    jobs: "int | None" = None,
+    batch: bool = True,
+    fresh: bool = False,
+    offline: bool = False,
+    progress: "Callable[[str], None] | None" = None,
+) -> CampaignResult:
+    """Execute a campaign incrementally through ``store`` and evaluate artifacts.
+
+    Parameters
+    ----------
+    campaign:
+        The :class:`~repro.campaigns.CampaignSpec` to execute.
+    store:
+        A :class:`~repro.store.ResultStore`; required, because incremental
+        execution *is* the campaign contract (pass a throwaway directory to
+        run cold).
+    trials, seed:
+        Campaign-wide plan overrides applied to every unit (e.g. the CLI's
+        smoke-scale ``--trials 2``); ``None`` keeps each unit's own plan.
+    jobs:
+        Worker processes.  With ``jobs > 1`` one process pool is shared by
+        every unit (:func:`~repro.experiments.parallel.shared_process_pool`)
+        rather than forked per sweep.
+    batch:
+        Route units through their vectorised batch engines (bit-identical;
+        wall-clock only).
+    fresh:
+        Recompute every trial, bypassing cache reads; recomputed results are
+        verified against the archive (see
+        :meth:`~repro.store.ResultStore.put_many`).
+    offline:
+        Report-only mode: raise :class:`~repro.errors.CampaignError` instead
+        of simulating when any unit has missing Monte Carlo trials.
+        ``python -m repro campaign report`` uses this to render reports
+        without executing any unit's trial plan.  Rank-evolution artifacts
+        are the one exception in either mode: they replay one trial per
+        named unit sequentially (the store archives stopping times, not
+        per-round rank snapshots).
+    progress:
+        Optional callback receiving one human-readable line per unit as it
+        completes (the CLI passes ``print``).
+    """
+    if store is None:
+        raise CampaignError(
+            "run_campaign requires a ResultStore: incremental, resumable "
+            "execution is the campaign contract (point it at a fresh "
+            "directory for a cold run)"
+        )
+    ordered = campaign.execution_order()
+    specs = campaign.resolved_specs(trials=trials, seed=seed)
+    started = time.perf_counter()
+    outcomes: list[UnitOutcome] = []
+    pool_context = (
+        shared_process_pool(jobs)
+        if jobs is not None and jobs > 1
+        else contextlib.nullcontext()
+    )
+    with pool_context:
+        for index, unit in enumerate(ordered):
+            outcome = _run_unit(
+                unit,
+                specs[unit.name],
+                store=store,
+                jobs=jobs,
+                batch=batch,
+                fresh=fresh,
+                offline=offline,
+            )
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(
+                    f"[{index + 1}/{len(ordered)}] {unit.name}: "
+                    f"{outcome.status} ({outcome.cached_trials} cached, "
+                    f"{outcome.computed_trials} computed) — "
+                    f"mean {outcome.stats.mean:.1f} rounds"
+                )
+    artifacts = tuple(
+        _ARTIFACT_BUILDERS[artifact.kind](artifact, outcomes)
+        for artifact in campaign.artifacts
+    )
+    return CampaignResult(
+        campaign=campaign,
+        outcomes=tuple(outcomes),
+        artifacts=artifacts,
+        store_root=str(store.root),
+        store_hits=store.hits,
+        store_puts=store.puts,
+        trials_override=trials,
+        seed_override=seed,
+        jobs=jobs,
+        seconds=time.perf_counter() - started,
+    )

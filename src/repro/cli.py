@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the common workflows (run ``python -m repro <cmd>
+Six subcommands cover the common workflows (run ``python -m repro <cmd>
 --help`` for the full flag reference of each):
 
 ``run``
@@ -25,6 +25,20 @@ Five subcommands cover the common workflows (run ``python -m repro <cmd>
         python -m repro scenario show churn/ring-crash-restart --json
         python -m repro scenario run tag/brr-barbell --trials 8
         python -m repro scenario run --file my_scenario.json
+
+``campaign``
+    Declarative experiment campaigns: coordinated sets of scenario sweeps
+    (Table 1, Table 2, the Theorem 2/5 experiments, or the whole paper)
+    executed incrementally through the result store and rendered as a
+    self-documenting Markdown + HTML report.  ``list`` the built-in
+    campaigns, ``show`` one, ``run`` one (resumable; a repeated run
+    simulates nothing), or ``report`` from an already-filled store without
+    simulating::
+
+        python -m repro campaign list
+        python -m repro campaign run table1 --trials 2
+        python -m repro campaign run full-paper --jobs 4
+        python -m repro campaign report table1 --report-dir reports/table1
 
 ``experiment``
     Execute a registered experiment (E1–E8 or a user-registered one) and
@@ -69,6 +83,15 @@ from pathlib import Path
 from typing import Sequence
 
 from .analysis import format_table, table1_rows, table2_rows
+from .campaigns import (
+    CAMPAIGNS,
+    campaign_names,
+    get_campaign,
+    load_campaign_file,
+    render_text_summary,
+    run_campaign,
+    write_report,
+)
 from .core import TimeModel
 from .errors import ReproError
 from .experiments import EXPERIMENTS, default_config, run_experiment
@@ -307,6 +330,124 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument(
         "--trials", type=int, default=1,
         help="trials per scenario (default: %(default)s)",
+    )
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="run declarative experiment campaigns with incremental execution",
+        description=(
+            "A campaign names a coordinated set of scenario sweeps plus the "
+            "derived artifacts (regenerated paper tables, CSV extracts, rank-"
+            "evolution curves) of its report.  Campaigns execute through the "
+            "persistent result store: interrupted runs resume, repeated runs "
+            "simulate nothing, and every run renders a self-documenting "
+            "Markdown + HTML report whose body is byte-identical across "
+            "fully-cached re-runs."
+        ),
+    )
+    campaign_actions = campaign_parser.add_subparsers(dest="action", required=True)
+
+    campaign_actions.add_parser(
+        "list", help="list every registered campaign with its title"
+    )
+
+    campaign_show_parser = campaign_actions.add_parser(
+        "show", help="print one campaign (units, DAG order, artifacts)"
+    )
+    campaign_show_parser.add_argument(
+        "name", metavar="NAME", help="registered campaign name (see 'campaign list')"
+    )
+    campaign_show_parser.add_argument(
+        "--json", action="store_true",
+        help="print the campaign as its canonical JSON document (default: summary)",
+    )
+
+    def _campaign_run_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "name", nargs="?", default=None, metavar="NAME",
+            help="registered campaign name (omit when using --file)",
+        )
+        sub.add_argument(
+            "--file", type=Path, default=None,
+            help="load the campaign from a TOML or JSON file instead",
+        )
+        sub.add_argument(
+            "--store", default=None, metavar="PATH",
+            help=(
+                "result store the campaign executes through (default: "
+                f"${_STORE_ENV} or {_DEFAULT_STORE}; campaigns always use a "
+                "store — that is what makes them incremental and resumable)"
+            ),
+        )
+        sub.add_argument(
+            "--report-dir", type=Path, default=None, metavar="DIR",
+            help="where to write report.md / report.html and the CSV extracts "
+                 "(default: reports/<campaign-name>)",
+        )
+        sub.add_argument(
+            "--format", choices=["md", "html", "both"], default="both",
+            help="report format(s) to write (default: %(default)s)",
+        )
+
+    campaign_run_parser = campaign_actions.add_parser(
+        "run",
+        help="execute a campaign incrementally and write its report",
+        description=(
+            "Executes every unit of the campaign DAG through the result "
+            "store — only trials the store does not hold are simulated — "
+            "then writes the Markdown/HTML report.  Re-running a completed "
+            "campaign computes nothing (store puts == 0)."
+        ),
+    )
+    _campaign_run_arguments(campaign_run_parser)
+    campaign_run_parser.add_argument(
+        "--trials", type=int, default=None,
+        help="campaign-wide override of every unit's trial count (smoke scale)",
+    )
+    campaign_run_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="campaign-wide override of every unit's root seed",
+    )
+    campaign_run_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help=(
+            "worker processes, shared across all units of the campaign "
+            "(default: run in-process)"
+        ),
+    )
+    campaign_run_parser.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=True,
+        help="use each unit's vectorised batch engine when it declares one",
+    )
+    campaign_run_parser.add_argument(
+        "--fresh", action="store_true",
+        help=(
+            "recompute every trial instead of reading the store (results are "
+            "verified against the archive and any divergence fails loudly)"
+        ),
+    )
+
+    campaign_report_parser = campaign_actions.add_parser(
+        "report",
+        help="render a campaign's report from an already-filled store",
+        description=(
+            "Report-only mode: reads every unit's Monte Carlo trials from "
+            "the store and renders the Markdown/HTML report without "
+            "simulating any of them.  Fails (exit 2) naming the missing "
+            "units when the store is incomplete — run the campaign first.  "
+            "(Exception: a rank-evolution artifact replays one trial per "
+            "named unit to record per-round rank curves, which the store "
+            "does not hold.)"
+        ),
+    )
+    _campaign_run_arguments(campaign_report_parser)
+    campaign_report_parser.add_argument(
+        "--trials", type=int, default=None,
+        help="campaign-wide trials override (must match the executed run)",
+    )
+    campaign_report_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="campaign-wide seed override (must match the executed run)",
     )
 
     experiment_parser = subparsers.add_parser(
@@ -622,6 +763,80 @@ def _command_scenario_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_campaign(args: argparse.Namespace):
+    """The campaign a ``campaign run`` / ``campaign report`` invocation names."""
+    if (args.name is None) == (args.file is None):
+        raise ReproError("give exactly one of NAME or --file")
+    if args.file is not None:
+        return load_campaign_file(args.file)
+    return get_campaign(args.name)
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        rows = [
+            {
+                "name": name,
+                "units": len(CAMPAIGNS[name].units),
+                "title": CAMPAIGNS[name].title or "-",
+            }
+            for name in campaign_names()
+        ]
+        print(format_table(rows, title=f"Registered campaigns ({len(rows)})"))
+        return 0
+    if args.action == "show":
+        campaign = get_campaign(args.name)
+        if args.json:
+            print(campaign.to_json())
+            return 0
+        print(f"{campaign.name}: {campaign.title or '-'}")
+        if campaign.description:
+            print(f"  {campaign.description}")
+        print(f"  units ({len(campaign.units)}, in execution order):")
+        for unit in campaign.execution_order():
+            spec = unit.resolve()
+            suffix = f" [after: {', '.join(unit.after)}]" if unit.after else ""
+            print(
+                f"    {unit.name}: {unit.scenario or '(inline spec)'} — "
+                f"{spec.protocol} on {spec.topology}(n={spec.n}), "
+                f"{spec.trials} trial(s), seed {spec.seed}{suffix}"
+            )
+        if campaign.artifacts:
+            print(f"  artifacts ({len(campaign.artifacts)}):")
+            for artifact in campaign.artifacts:
+                print(f"    [{artifact.kind}] {artifact.label}")
+        print("  (use --json for the exact machine-readable campaign)")
+        return 0
+    # run / report
+    campaign = _resolve_campaign(args)
+    store_path = args.store or os.environ.get(_STORE_ENV) or _DEFAULT_STORE
+    offline = args.action == "report"
+    # Report-only mode must not create an empty store just to fail against it.
+    store = ResultStore(store_path, create=not offline)
+    result = run_campaign(
+        campaign,
+        store=store,
+        trials=args.trials,
+        seed=args.seed,
+        jobs=getattr(args, "jobs", None),
+        batch=getattr(args, "batch", True),
+        fresh=getattr(args, "fresh", False),
+        offline=offline,
+        progress=print if not offline else None,
+    )
+    print()
+    print(render_text_summary(result))
+    report_dir = args.report_dir or Path("reports") / campaign.name
+    formats = ("md", "html") if args.format == "both" else (args.format,)
+    written = write_report(result, report_dir, formats=formats)
+    for kind in formats:
+        print(f"report ({kind}): {written[kind]}")
+    for kind, path in written.items():
+        if kind not in formats:
+            print(f"artifact: {path}")
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     store = _open_store(args)
     result = run_experiment(
@@ -759,6 +974,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "run": _command_run,
         "scenario": _command_scenario,
+        "campaign": _command_campaign,
         "experiment": _command_experiment,
         "store": _command_store,
         "tables": _command_tables,

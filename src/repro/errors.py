@@ -60,6 +60,15 @@ class StoreError(ReproError):
     """
 
 
+class CampaignError(ReproError):
+    """Raised when an experiment campaign cannot be compiled or executed.
+
+    Examples: a campaign file naming an unknown scenario or artifact kind,
+    duplicate unit names, a dependency cycle in the unit DAG, or an offline
+    report request against a store that does not hold every trial.
+    """
+
+
 class AnalysisError(ReproError):
     """Raised when an analysis routine receives data it cannot work with.
 

@@ -6,6 +6,7 @@ from .parallel import (
     measure_protocol_parallel,
     run_trials_batched,
     run_trials_parallel,
+    shared_process_pool,
 )
 from .reporting import format_comparison, format_experiment_report, format_markdown_table
 from .runner import (
@@ -40,6 +41,7 @@ __all__ = [
     "measure_protocol_parallel",
     "run_trials_batched",
     "run_trials_parallel",
+    "shared_process_pool",
     "SpanningTreeFactory",
     "TagFactory",
     "UniformGossipFactory",

@@ -32,10 +32,11 @@ plan fills in ``trials``/``seed`` when those are not given explicitly::
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
 import networkx as nx
 
@@ -53,6 +54,7 @@ __all__ = [
     "measure_protocol_parallel",
     "run_trials_parallel",
     "scenario_batch_strategy",
+    "shared_process_pool",
     "default_jobs",
 ]
 
@@ -60,6 +62,43 @@ __all__ = [
 def default_jobs() -> int:
     """Worker-process count used when ``jobs`` is not given: the CPU count."""
     return max(1, os.cpu_count() or 1)
+
+
+#: The process pool installed by :func:`shared_process_pool`, if any.
+_SHARED_POOL: "ProcessPoolExecutor | None" = None
+
+
+@contextlib.contextmanager
+def shared_process_pool(jobs: int | None = None) -> Iterator[ProcessPoolExecutor]:
+    """Share one worker pool across every parallel runner call in the block.
+
+    By default each :func:`measure_protocol_parallel` call creates (and tears
+    down) its own ``ProcessPoolExecutor`` — fine for a single sweep, wasteful
+    for a campaign of many sweeps, where worker startup (process fork plus
+    per-worker GF table priming) would be paid once per unit.  Inside this
+    context every chunked run reuses the same executor::
+
+        with shared_process_pool(jobs=4):
+            for spec in specs:
+                run_trials_parallel(spec, jobs=4, store=store)
+
+    Results are unchanged — trial generators depend only on the root seed and
+    trial index, never on the executing process.  The pool is process-wide
+    (one campaign at a time drives it); nesting is rejected.
+    """
+    global _SHARED_POOL
+    if _SHARED_POOL is not None:
+        raise AnalysisError("shared_process_pool does not nest")
+    jobs = default_jobs() if jobs is None else jobs
+    if jobs < 1:
+        raise AnalysisError(f"jobs must be positive, got {jobs}")
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    _SHARED_POOL = pool
+    try:
+        yield pool
+    finally:
+        _SHARED_POOL = None
+        pool.shutdown()
 
 
 def _resolve_workload(
@@ -360,8 +399,13 @@ def _measure_indices_chunked(
         return _measure_trial_indices(
             graph, protocol_factory, config, seed, trial_indices, batch
         )
-    with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-        chunk_results = list(pool.map(_run_chunk, payloads))
+    if _SHARED_POOL is not None:
+        # Inside a shared_process_pool() block: reuse the long-lived workers
+        # (the executor queues chunks beyond its worker count).
+        chunk_results = list(_SHARED_POOL.map(_run_chunk, payloads))
+    else:
+        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            chunk_results = list(pool.map(_run_chunk, payloads))
     results: list[RunResult] = []
     for chunk_result in chunk_results:
         results.extend(chunk_result)

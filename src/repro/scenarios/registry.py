@@ -16,6 +16,9 @@ and smoke-runs every entry).  Registering is open: library users call
 
 from __future__ import annotations
 
+import difflib
+from typing import Iterable
+
 from ..core.config import SimulationConfig, TimeModel
 from ..errors import ConfigurationError
 from .spec import ScenarioSpec, default_scenario_config
@@ -25,7 +28,29 @@ __all__ = [
     "register_scenario",
     "get_scenario",
     "scenario_names",
+    "suggest_names",
 ]
+
+
+def suggest_names(name: str, known: Iterable[str]) -> str:
+    """A ``"; did you mean 'x'?"`` suffix for unknown-name errors (or ``""``).
+
+    Shared by every registry lookup (scenarios, campaigns, store prefixes)
+    so a typo'd CLI name always fails with a close-match suggestion instead
+    of a bare list dump.
+
+    >>> suggest_names("tag/brr-barbel", ["tag/brr-barbell", "uniform/grid"])
+    "; did you mean 'tag/brr-barbell'?"
+    >>> suggest_names("zzz", ["uniform/line"])
+    ''
+    """
+    matches = difflib.get_close_matches(name, list(known), n=3, cutoff=0.5)
+    if not matches:
+        return ""
+    if len(matches) == 1:
+        return f"; did you mean {matches[0]!r}?"
+    alternatives = " or ".join(repr(match) for match in matches)
+    return f"; did you mean {alternatives}?"
 
 #: Name → spec.  Populated below; extendable through :func:`register_scenario`.
 SCENARIOS: dict[str, ScenarioSpec] = {}
@@ -44,12 +69,19 @@ def register_scenario(spec: ScenarioSpec, *, overwrite: bool = False) -> Scenari
 
 
 def get_scenario(name: str) -> ScenarioSpec:
-    """Look a scenario up by name."""
+    """Look a scenario up by name.
+
+    An unknown name raises :class:`~repro.errors.ConfigurationError` (never a
+    raw ``KeyError``) with a close-match suggestion, so CLI typos exit with
+    ``error: unknown scenario ...; did you mean ...?`` instead of a traceback.
+    """
     try:
         return SCENARIOS[name]
     except KeyError:
         raise ConfigurationError(
-            f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
+            f"unknown scenario {name!r}{suggest_names(name, SCENARIOS)} "
+            f"(run 'python -m repro scenario list' for all "
+            f"{len(SCENARIOS)} registered names)"
         ) from None
 
 

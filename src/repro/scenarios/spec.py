@@ -264,6 +264,29 @@ class ScenarioSpec:
         every trial generator derives from.
     name, description:
         Registry identity and one-line purpose (empty for ad-hoc specs).
+
+    Examples
+    --------
+    Specs are plain JSON values with an exact round trip:
+
+    >>> spec = ScenarioSpec(topology="ring", n=8, k=4, trials=3, seed=7)
+    >>> ScenarioSpec.from_json(spec.to_json()) == spec
+    True
+
+    The fingerprint addresses the *workload*: the Monte Carlo plan and the
+    registry identity do not change it, any result-affecting field does
+    (this is the shard key of :class:`repro.store.ResultStore`):
+
+    >>> spec.fingerprint() == spec.replace(trials=100, name="renamed").fingerprint()
+    True
+    >>> spec.fingerprint() == spec.replace(n=16).fingerprint()
+    False
+
+    Materialisation resolves the concrete graph and message counts:
+
+    >>> scenario = spec.materialize()
+    >>> scenario.n, scenario.k
+    (8, 4)
     """
 
     topology: str = "ring"

@@ -303,6 +303,22 @@ class ResultStore:
     Workload arguments (``spec_or_fingerprint``) accept either a
     :class:`~repro.scenarios.ScenarioSpec` or a fingerprint string; the trial
     key's ``seed`` defaults to the spec's own root seed when a spec is given.
+
+    Examples
+    --------
+    Runners read *through* a store: trial records are keyed by
+    ``(spec fingerprint, root seed, trial index)``, so only the missing
+    indices of a plan are ever computed:
+
+    >>> import tempfile
+    >>> from repro.scenarios import ScenarioSpec
+    >>> spec = ScenarioSpec(topology="ring", n=8, k=2, trials=2, seed=1)
+    >>> with tempfile.TemporaryDirectory() as root:
+    ...     store = ResultStore(root)
+    ...     first = spec.materialize().run_single(store=store)   # computes
+    ...     cached = spec.materialize().run_single(store=store)  # cache hit
+    ...     (first == cached, store.puts, store.hits, store.missing_trials(spec))
+    (True, 1, 1, [1])
     """
 
     def __init__(

@@ -210,3 +210,44 @@ class TestSweepWiring:
         fast = run_sweep(cases, trials=3, seed=2, batch=True)
         slow = run_sweep(cases, trials=3, seed=2, batch=False)
         assert [p.stats.samples for p in fast] == [p.stats.samples for p in slow]
+
+
+class TestSharedProcessPool:
+    def test_pooled_runs_match_per_call_pools(self, uniform_case):
+        from repro.experiments import shared_process_pool
+
+        direct = measure_protocol_parallel(
+            uniform_case.graph, uniform_case.protocol_factory,
+            uniform_case.config, trials=4, seed=9, jobs=2,
+        )
+        with shared_process_pool(2):
+            pooled_one = measure_protocol_parallel(
+                uniform_case.graph, uniform_case.protocol_factory,
+                uniform_case.config, trials=4, seed=9, jobs=2,
+            )
+            # Second call inside the same block reuses the same workers.
+            pooled_two = measure_protocol_parallel(
+                uniform_case.graph, uniform_case.protocol_factory,
+                uniform_case.config, trials=4, seed=9, jobs=2,
+            )
+        signature = lambda results: [(r.rounds, r.timeslots) for r in results]
+        assert signature(pooled_one) == signature(direct)
+        assert signature(pooled_two) == signature(direct)
+
+    def test_nesting_rejected_and_pool_cleared_on_exit(self):
+        from repro.experiments import parallel
+        from repro.experiments.parallel import shared_process_pool
+
+        with shared_process_pool(1):
+            assert parallel._SHARED_POOL is not None
+            with pytest.raises(AnalysisError, match="does not nest"):
+                with shared_process_pool(1):
+                    pass
+        assert parallel._SHARED_POOL is None
+
+    def test_rejects_non_positive_jobs(self):
+        from repro.experiments.parallel import shared_process_pool
+
+        with pytest.raises(AnalysisError):
+            with shared_process_pool(0):
+                pass
