@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-slow bench-smoke bench-json bench-check scenarios-check store-check docs-check docs-api docs-api-check campaigns-check
+.PHONY: test test-slow bench-smoke bench-json bench-check backend-check scenarios-check store-check docs-check docs-api docs-api-check campaigns-check
 
 ## Tier-1 test suite (unit + property + integration).  Tests marked `slow`
 ## (the large batch-vs-scalar equivalence sweeps) are skipped here.  The
@@ -15,6 +15,7 @@ export PYTHONPATH := src
 test:
 	$(PYTHON) -m pytest -x -q
 	$(PYTHON) -m pytest --doctest-modules -q \
+		src/repro/backends/__init__.py \
 		src/repro/scenarios/spec.py src/repro/scenarios/registry.py \
 		src/repro/store/result_store.py src/repro/analysis/tables.py \
 		src/repro/campaigns
@@ -40,13 +41,24 @@ bench-smoke:
 ## (timings, speedup, workload, git rev) for cross-revision tracking.
 bench-json:
 	$(PYTHON) -m pytest benchmarks/bench_batch_core.py benchmarks/bench_batch_tag.py \
-		--benchmark-only -q
+		benchmarks/bench_backend_gf2.py --benchmark-only -q
 	@ls -l benchmarks/output/BENCH_*.json
 
 ## Perf-trajectory guard: fails if any committed BENCH_*.json record's batch
 ## speedup sits below its asserted floor (or if no records exist at all).
 bench-check:
 	$(PYTHON) benchmarks/check_regression.py
+
+## Compute-backend contract: the full conformance suite (every registered
+## backend vs the numpy reference — kernels, eliminator traces, end-to-end
+## scenario equivalence, typed q!=2 refusal, store invariance) plus a
+## scaled-down run of the GF(2) backend benchmark proving gf2bit is faster
+## *and* bit-identical on the all-to-all workload.  The full-size >=5x floor
+## is asserted by `make bench-json` / the committed BENCH record.
+backend-check:
+	$(PYTHON) -m pytest tests/test_backend_conformance.py -q
+	REPRO_BENCH_GF2_N=48 REPRO_BENCH_GF2_TRIALS=4 REPRO_BENCH_GF2_MIN_SPEEDUP=2 \
+		$(PYTHON) -m pytest benchmarks/bench_backend_gf2.py --benchmark-only -q
 
 ## Scenario-registry health check: materialise and smoke-run (1 trial) every
 ## registered scenario through the CLI.

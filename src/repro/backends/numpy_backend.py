@@ -1,0 +1,67 @@
+"""The default dense-numpy compute backend.
+
+A thin adapter over the reference implementations in :mod:`repro.gf.linalg`:
+row reduction, rank and row-space membership call the ``_reference_*``
+kernels directly (the public ``repro.gf.linalg`` entry points dispatch *to*
+the active backend, so the adapter must not call them back), and the
+eliminator is :class:`~repro.gf.linalg.BatchEliminator` itself.
+
+Supports every field the library can construct; this is the backend every
+other backend is conformance-tested against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gf.field import GaloisField
+from ..gf.linalg import (
+    BatchEliminator,
+    _reference_is_in_row_space,
+    _reference_rank,
+    _reference_row_reduce,
+)
+from .base import ComputeBackend, EliminatorState
+
+__all__ = ["NumpyBackend"]
+
+# BatchEliminator predates the backend seam and is re-exported through
+# ``repro.gf``; registering it as a virtual subclass keeps that public
+# surface untouched while making isinstance(x, EliminatorState) hold.
+EliminatorState.register(BatchEliminator)
+
+
+class NumpyBackend(ComputeBackend):
+    """Dense numpy Gaussian elimination over any supported ``GF(q)``."""
+
+    name = "numpy"
+
+    def supports_field(self, field: GaloisField) -> bool:
+        return True
+
+    def row_reduce(
+        self, field: GaloisField, matrix: np.ndarray, *, augmented_columns: int = 0
+    ) -> "tuple[np.ndarray, list[int]]":
+        return _reference_row_reduce(
+            field, matrix, augmented_columns=augmented_columns
+        )
+
+    def rank(self, field: GaloisField, matrix: np.ndarray) -> int:
+        return _reference_rank(field, matrix)
+
+    def is_in_row_space(
+        self, field: GaloisField, matrix: np.ndarray, vector: np.ndarray
+    ) -> bool:
+        return _reference_is_in_row_space(field, matrix, vector)
+
+    def make_eliminator(
+        self,
+        field: GaloisField,
+        batch: int,
+        columns: int,
+        *,
+        augmented_columns: int = 0,
+    ) -> EliminatorState:
+        return BatchEliminator(
+            field, batch, columns, augmented_columns=augmented_columns
+        )

@@ -83,6 +83,7 @@ from pathlib import Path
 from typing import Sequence
 
 from .analysis import format_table, table1_rows, table2_rows
+from .backends import all_backends
 from .campaigns import (
     CAMPAIGNS,
     campaign_names,
@@ -244,6 +245,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument(
+        "--backend", choices=sorted(all_backends()), default="",
+        help=(
+            "compute backend for the linear algebra: numpy (dense reference, "
+            "any field) or gf2bit (word-packed XOR kernels, GF(2) only); "
+            "backends are bit-identical, so this changes wall-clock only "
+            "(default: $REPRO_BACKEND or numpy)"
+        ),
+    )
+    run_parser.add_argument(
         "--show-spec", action="store_true",
         help=(
             "print the ScenarioSpec JSON these flags describe instead of "
@@ -315,6 +325,13 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_run_parser.add_argument(
         "--batch", action=argparse.BooleanOptionalAction, default=True,
         help="use the scenario's vectorised batch engine when it declares one",
+    )
+    scenario_run_parser.add_argument(
+        "--backend", choices=sorted(all_backends()), default="",
+        help=(
+            "override the spec's compute backend (bit-identical results, "
+            "different wall-clock; default: the spec's own choice)"
+        ),
     )
     _add_store_arguments(scenario_run_parser)
 
@@ -602,6 +619,7 @@ def _spec_from_run_args(args: argparse.Namespace) -> ScenarioSpec:
         ),
         trials=args.trials,
         seed=args.seed,
+        backend=args.backend,
     )
 
 
@@ -719,6 +737,8 @@ def _command_scenario(args: argparse.Namespace) -> int:
                 return 2
         else:
             spec = get_scenario(args.name)
+        if args.backend:
+            spec = spec.replace(backend=args.backend)
         return _run_scenario_spec(
             spec,
             trials=args.trials,

@@ -50,6 +50,16 @@ class ConfigurationError(ReproError):
     """Raised when a :class:`SimulationConfig` contains inconsistent values."""
 
 
+class BackendError(ReproError):
+    """Raised when a compute backend cannot honour a request.
+
+    Examples: asking for an unregistered backend name, or handing the
+    bit-packed ``gf2bit`` backend a field other than ``GF(2)`` — backends
+    never fall back silently, they refuse loudly so that a scenario always
+    runs on exactly the arithmetic it named.
+    """
+
+
 class StoreError(ReproError):
     """Raised when the persistent result store cannot honour a request.
 

@@ -235,6 +235,7 @@ def _measure_trial_indices(
     seed: int,
     trial_indices: Sequence[int],
     batch: bool,
+    backend: str = "",
 ) -> list[RunResult]:
     """Run the selected trial streams, batched when allowed and possible.
 
@@ -242,7 +243,13 @@ def _measure_trial_indices(
     time, so a long non-batchable run never holds more than one set of
     scalar decoders in memory.  Only the batch engine — which needs every
     trial's state simultaneously by design — constructs all processes.
+
+    ``backend`` installs a compute backend for the duration of the runs
+    (``""`` keeps the ambient one); since backends are bit-identical by
+    contract, it affects wall-clock only, never the results.
     """
+    from ..backends import use_backend
+
     # Reset-mode churn is outside the batch support matrix: fall back to the
     # scalar engine explicitly rather than letting a strategy fail mid-run.
     if not batch_supports_config(config):
@@ -250,17 +257,20 @@ def _measure_trial_indices(
     rngs = [derive_rng(seed, f"trial-{index}") for index in trial_indices]
     results: list[RunResult] = []
     remaining = list(rngs)
-    if batch and remaining:
-        first = protocol_factory(graph, remaining[0])
-        strategy = first.batch_strategy()
-        if strategy is not None:
-            processes = [first] + [protocol_factory(graph, rng) for rng in remaining[1:]]
-            return strategy(graph, processes, config, rngs)
-        results.append(GossipEngine(graph, first, config, remaining[0]).run())
-        remaining = remaining[1:]
-    for rng in remaining:
-        process = protocol_factory(graph, rng)
-        results.append(GossipEngine(graph, process, config, rng).run())
+    with use_backend(backend):
+        if batch and remaining:
+            first = protocol_factory(graph, remaining[0])
+            strategy = first.batch_strategy()
+            if strategy is not None:
+                processes = [first] + [
+                    protocol_factory(graph, rng) for rng in remaining[1:]
+                ]
+                return strategy(graph, processes, config, rngs)
+            results.append(GossipEngine(graph, first, config, remaining[0]).run())
+            remaining = remaining[1:]
+        for rng in remaining:
+            process = protocol_factory(graph, rng)
+            results.append(GossipEngine(graph, process, config, rng).run())
     return results
 
 
@@ -306,18 +316,19 @@ def measure_protocol_batched(
     graph, protocol_factory, config, trials, seed, spec = _resolve_workload(
         graph, protocol_factory, config, trials, seed, spec
     )
+    backend = getattr(spec, "backend", "") or ""
     if trial_indices is None:
         if trials < 1:
             raise AnalysisError(f"trials must be positive, got {trials}")
         trial_indices = range(trials)
     if store is None:
         return _measure_trial_indices(
-            graph, protocol_factory, config, seed, trial_indices, batch=True
+            graph, protocol_factory, config, seed, trial_indices, True, backend
         )
     return _run_through_store(
         store, spec, seed, trial_indices, fresh,
         lambda missing: _measure_trial_indices(
-            graph, protocol_factory, config, seed, missing, batch=True
+            graph, protocol_factory, config, seed, missing, True, backend
         ),
     )
 
@@ -350,9 +361,11 @@ def run_trials_batched(
 
 def _run_chunk(payload: bytes) -> list[RunResult]:
     """Worker entry point: unpickle one chunk description and run it."""
-    graph, protocol_factory, config, seed, indices, batch = pickle.loads(payload)
+    graph, protocol_factory, config, seed, indices, batch, backend = pickle.loads(
+        payload
+    )
     return _measure_trial_indices(
-        graph, protocol_factory, config, seed, indices, batch
+        graph, protocol_factory, config, seed, indices, batch, backend
     )
 
 
@@ -377,19 +390,26 @@ def _measure_indices_chunked(
     trial_indices: Sequence[int],
     jobs: int,
     batch: bool,
+    backend: str = "",
 ) -> list[RunResult]:
-    """Run the given trial streams over up to ``jobs`` worker processes."""
+    """Run the given trial streams over up to ``jobs`` worker processes.
+
+    The backend name travels inside each pickled chunk so worker processes
+    install the same compute backend the parent would use.
+    """
     if not trial_indices:
         return []
     jobs = min(jobs, len(trial_indices))
     if jobs == 1:
         return _measure_trial_indices(
-            graph, protocol_factory, config, seed, trial_indices, batch
+            graph, protocol_factory, config, seed, trial_indices, batch, backend
         )
     chunks = _chunks(trial_indices, jobs)
     try:
         payloads = [
-            pickle.dumps((graph, protocol_factory, config, seed, chunk, batch))
+            pickle.dumps(
+                (graph, protocol_factory, config, seed, chunk, batch, backend)
+            )
             for chunk in chunks
         ]
     except Exception:
@@ -397,7 +417,7 @@ def _measure_indices_chunked(
         # process boundary; run them in-process instead — the results are
         # identical, only the wall-clock differs.
         return _measure_trial_indices(
-            graph, protocol_factory, config, seed, trial_indices, batch
+            graph, protocol_factory, config, seed, trial_indices, batch, backend
         )
     if _SHARED_POOL is not None:
         # Inside a shared_process_pool() block: reuse the long-lived workers
@@ -451,6 +471,7 @@ def measure_protocol_parallel(
     graph, protocol_factory, config, trials, seed, spec = _resolve_workload(
         graph, protocol_factory, config, trials, seed, spec
     )
+    backend = getattr(spec, "backend", "") or ""
     if trials < 1:
         raise AnalysisError(f"trials must be positive, got {trials}")
     jobs = default_jobs() if jobs is None else jobs
@@ -458,12 +479,12 @@ def measure_protocol_parallel(
         raise AnalysisError(f"jobs must be positive, got {jobs}")
     if store is None:
         return _measure_indices_chunked(
-            graph, protocol_factory, config, seed, range(trials), jobs, batch
+            graph, protocol_factory, config, seed, range(trials), jobs, batch, backend
         )
     return _run_through_store(
         store, spec, seed, range(trials), fresh,
         lambda missing: _measure_indices_chunked(
-            graph, protocol_factory, config, seed, missing, jobs, batch
+            graph, protocol_factory, config, seed, missing, jobs, batch, backend
         ),
     )
 

@@ -10,6 +10,14 @@ The RLNC decoder needs exactly four operations on matrices over ``GF(q)``:
 All routines operate on integer numpy arrays whose entries are field elements
 in ``[0, q)`` and take the :class:`~repro.gf.field.GaloisField` instance as an
 explicit argument, mirroring how a mathematician would write "over ``F_q``".
+
+Since the compute-backend seam (:mod:`repro.backends`) the public
+:func:`row_reduce` / :func:`rank` / :func:`is_in_row_space` entry points
+dispatch to the *active* backend (default ``numpy``, overridable per run);
+the ``_reference_*`` functions below are the dense numpy implementations the
+default backend wraps, and :class:`BatchEliminator` is its eliminator state.
+Every backend is bit-identical by contract, so callers never observe the
+difference — a non-default backend is purely a speed choice.
 """
 
 from __future__ import annotations
@@ -75,7 +83,22 @@ def row_reduce(
     -------
     (rref, pivot_columns):
         The reduced matrix and the list of pivot column indices in order.
+
+    Dispatches to the active :mod:`repro.backends` backend (identical results
+    on every backend; a backend that does not support ``field`` raises
+    :class:`~repro.errors.BackendError`).
     """
+    from ..backends import current_backend
+
+    return current_backend().row_reduce(
+        field, matrix, augmented_columns=augmented_columns
+    )
+
+
+def _reference_row_reduce(
+    field: GaloisField, matrix: np.ndarray, *, augmented_columns: int = 0
+) -> tuple[np.ndarray, list[int]]:
+    """Dense-numpy :func:`row_reduce` (the ``numpy`` backend's kernel)."""
     work = field.validate(matrix).copy()
     if work.ndim != 2:
         raise FieldError(f"row_reduce expects a 2-D matrix, got shape {work.shape}")
@@ -118,11 +141,18 @@ def row_reduce(
 
 
 def rank(field: GaloisField, matrix: np.ndarray) -> int:
-    """Rank of ``matrix`` over ``field``."""
+    """Rank of ``matrix`` over ``field`` (computed by the active backend)."""
+    from ..backends import current_backend
+
+    return current_backend().rank(field, matrix)
+
+
+def _reference_rank(field: GaloisField, matrix: np.ndarray) -> int:
+    """Dense-numpy :func:`rank` (the ``numpy`` backend's kernel)."""
     matrix = field.validate(matrix)
     if matrix.size == 0:
         return 0
-    _, pivots = row_reduce(field, matrix)
+    _, pivots = _reference_row_reduce(field, matrix)
     return len(pivots)
 
 
@@ -132,7 +162,17 @@ def is_in_row_space(field: GaloisField, matrix: np.ndarray, vector: np.ndarray) 
     Used to decide whether a received coded packet is *helpful* (Definition 3
     of the paper): a packet is helpful exactly when its coefficient vector is
     **not** already in the row space of the receiver's coefficient matrix.
+    Computed by the active :mod:`repro.backends` backend.
     """
+    from ..backends import current_backend
+
+    return current_backend().is_in_row_space(field, matrix, vector)
+
+
+def _reference_is_in_row_space(
+    field: GaloisField, matrix: np.ndarray, vector: np.ndarray
+) -> bool:
+    """Dense-numpy :func:`is_in_row_space` (the ``numpy`` backend's kernel)."""
     matrix = field.validate(matrix)
     vector = field.validate(vector)
     if matrix.size == 0:
@@ -142,9 +182,9 @@ def is_in_row_space(field: GaloisField, matrix: np.ndarray, vector: np.ndarray) 
             f"vector of length {vector.shape} does not match matrix with "
             f"{matrix.shape[1]} columns"
         )
-    base_rank = rank(field, matrix)
+    base_rank = _reference_rank(field, matrix)
     stacked = np.vstack([matrix, vector[np.newaxis, :]])
-    return rank(field, stacked) == base_rank
+    return _reference_rank(field, stacked) == base_rank
 
 
 def solve(field: GaloisField, matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
@@ -209,21 +249,41 @@ class BatchEliminator:
     this state matches the scalar decoder's stored rows exactly — which is
     what makes the batched simulation fast path bit-identical to the
     sequential one.
+
+    With ``augmented_columns = r > 0`` the trailing ``r`` columns ride along
+    through every row operation but are never chosen as pivots and never make
+    a row helpful — the ``[coefficients | payload]`` layout of the scalar
+    :class:`~repro.rlnc.decoder.RlncDecoder`, which runs on one of these with
+    ``batch=1``.
     """
 
-    def __init__(self, field: GaloisField, batch: int, columns: int) -> None:
+    def __init__(
+        self,
+        field: GaloisField,
+        batch: int,
+        columns: int,
+        *,
+        augmented_columns: int = 0,
+    ) -> None:
         if batch < 1:
             raise FieldError(f"batch size must be positive, got {batch}")
         if columns < 1:
             raise FieldError(f"column count must be positive, got {columns}")
+        if not 0 <= augmented_columns < columns:
+            raise FieldError(
+                f"augmented_columns must lie in [0, {columns}), "
+                f"got {augmented_columns}"
+            )
         self.field = field
         self.batch = batch
         self.columns = columns
+        #: Pivots (and helpfulness) live in the first ``pivot_limit`` columns.
+        self.pivot_limit = columns - augmented_columns
         #: ``rows[b, p]`` is the stored row of problem ``b`` with pivot column
         #: ``p`` (all-zero when that pivot is absent).
-        self.rows = field.zeros((batch, columns, columns))
+        self.rows = field.zeros((batch, self.pivot_limit, columns))
         #: ``pivot_mask[b, p]`` — does problem ``b`` have a pivot in column ``p``?
-        self.pivot_mask = np.zeros((batch, columns), dtype=bool)
+        self.pivot_mask = np.zeros((batch, self.pivot_limit), dtype=bool)
         #: Current rank of every problem.
         self.ranks = np.zeros(batch, dtype=np.int64)
 
@@ -273,12 +333,16 @@ class BatchEliminator:
                     "eliminate requires distinct problem indices "
                     "(one row per problem per sweep)"
                 )
-        # Forward sweep: one pass over the columns eliminates every stored
-        # pivot from every incoming row (RREF ⇒ a pivot row is zero in all
-        # *other* pivot columns, so earlier columns are never re-polluted).
-        for col in range(self.columns):
+        # Forward sweep: one pass over the stored pivot columns eliminates
+        # every stored pivot from every incoming row (RREF ⇒ a pivot row is
+        # zero in all *other* pivot columns, so earlier columns are never
+        # re-polluted).  Only columns some selected problem actually pivots
+        # on are visited, which keeps a nearly-empty eliminator (the scalar
+        # decoder's early life) cheap.
+        selected_mask = self.pivot_mask[indices]
+        for col in np.nonzero(selected_mask.any(axis=0))[0]:
             factor = work[:, col]
-            live = self.pivot_mask[indices, col] & (factor != 0)
+            live = selected_mask[:, col] & (factor != 0)
             if not live.any():
                 continue
             sel = np.nonzero(live)[0]
@@ -286,7 +350,10 @@ class BatchEliminator:
             work[sel] = field.raw_sub(
                 work[sel], field.raw_mul(factor[sel, np.newaxis], pivot_rows)
             )
-        nonzero = work != 0
+        # Helpfulness and the new pivot are decided on the pivot-eligible
+        # columns only: a row whose coefficient part cancels is dependent and
+        # is dropped, whatever its augmented part holds.
+        nonzero = work[:, : self.pivot_limit] != 0
         helpful = nonzero.any(axis=1)
         sel = np.nonzero(helpful)[0]
         if sel.size:

@@ -48,6 +48,11 @@ Payloads are never touched: the batch path only answers "when does every node
 finish", which is the only question the stopping-time experiments ask.
 Protocols that need payload recovery or carry unsupported state must keep
 using the sequential engine (their :meth:`batch_strategy` returns ``None``).
+
+The linear algebra underneath the decoder grid is supplied by the ambient
+:mod:`repro.backends` backend (dense numpy by default, word-packed GF(2)
+kernels under ``gf2bit``); because every backend maintains the same canonical
+RREF state, the bit-identical guarantee above holds across backends too.
 """
 
 from __future__ import annotations

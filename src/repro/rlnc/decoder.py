@@ -12,6 +12,15 @@ reduced row-echelon form so that
 
 The decoder is the ground truth for the stopping-time measurements: a node has
 "finished" exactly when its decoder reports :meth:`is_complete`.
+
+The elimination itself lives behind the :mod:`repro.backends` seam: the
+decoder is a single-problem
+:class:`~repro.backends.EliminatorState` over ``[coefficients | payload]``
+rows (``augmented_columns = payload_length``, so payload symbols ride along
+but never become pivots), built by whichever backend is active — dense numpy
+by default, word-packed XOR kernels for ``GF(2)`` under ``gf2bit``.  Every
+backend maintains the same canonical RREF basis, so the decoder's observable
+state is backend-invariant.
 """
 
 from __future__ import annotations
@@ -37,20 +46,36 @@ class RlncDecoder:
         Generation size (number of source messages in the system).
     payload_length:
         Number of payload symbols per message (``r``).
+    backend:
+        Compute backend (instance or registry name) for the elimination
+        state; default: the ambient backend (see
+        :func:`repro.backends.use_backend`).
     """
 
-    def __init__(self, field: GaloisField, k: int, payload_length: int) -> None:
+    def __init__(
+        self,
+        field: GaloisField,
+        k: int,
+        payload_length: int,
+        *,
+        backend=None,
+    ) -> None:
         if k < 1:
             raise DecodingError(f"generation size must be positive, got {k}")
         if payload_length < 1:
             raise DecodingError(f"payload length must be positive, got {payload_length}")
+        from ..backends import resolve_backend
+
         self.field = field
         self.k = k
         self.payload_length = payload_length
-        # Stored rows are [coefficients | payload], kept in RREF and ordered
-        # by pivot column.  ``_pivot_of_row[i]`` is the pivot column of row i.
-        self._rows: list[np.ndarray] = []
-        self._pivot_of_row: list[int] = []
+        self.backend = resolve_backend(backend)
+        # One elimination problem over [coefficients | payload] rows; the
+        # payload columns are augmented: carried through every row operation,
+        # never pivoted on, never counted for helpfulness.
+        self._eliminator = self.backend.make_eliminator(
+            field, 1, k + payload_length, augmented_columns=payload_length
+        )
         self._received = 0
         self._helpful = 0
 
@@ -60,7 +85,7 @@ class RlncDecoder:
     @property
     def rank(self) -> int:
         """Current rank: number of linearly independent equations stored."""
-        return len(self._rows)
+        return self._eliminator.rank_of(0)
 
     @property
     def is_complete(self) -> bool:
@@ -80,19 +105,15 @@ class RlncDecoder:
     @property
     def pivot_columns(self) -> tuple[int, ...]:
         """Pivot columns of the stored coefficient matrix, in row order."""
-        return tuple(self._pivot_of_row)
+        return tuple(int(p) for p in np.nonzero(self._eliminator.pivot_mask[0])[0])
 
     def coefficient_matrix(self) -> np.ndarray:
         """The stored coefficient matrix (``rank x k``), a copy."""
-        if not self._rows:
-            return self.field.zeros((0, self.k))
-        return np.vstack([row[: self.k] for row in self._rows])
+        return self._eliminator.basis(0)[:, : self.k]
 
     def augmented_matrix(self) -> np.ndarray:
         """The stored ``[coefficients | payload]`` matrix (``rank x (k + r)``), a copy."""
-        if not self._rows:
-            return self.field.zeros((0, self.k + self.payload_length))
-        return np.vstack(self._rows)
+        return self._eliminator.basis(0)
 
     # ------------------------------------------------------------------
     # Seeding with source messages
@@ -129,23 +150,23 @@ class RlncDecoder:
         row = np.concatenate(
             [packet.coefficient_array(self.field), packet.payload_array(self.field)]
         ).astype(self.field.dtype)
-        reduced = self._reduce_against_stored(row)
-        pivot = self._first_nonzero_coefficient(reduced)
-        if pivot is None:
-            return False
-        self._insert_row(reduced, pivot)
-        self._helpful += 1
-        return True
+        helpful = bool(
+            self._eliminator.eliminate(row[np.newaxis, :], np.zeros(1, np.int64))[0]
+        )
+        if helpful:
+            self._helpful += 1
+        return helpful
 
     def would_be_helpful(self, packet: CodedPacket) -> bool:
         """Check helpfulness without mutating the decoder."""
         if packet.k != self.k or packet.payload_length != self.payload_length:
             raise DecodingError("packet dimensions do not match the decoder")
-        row = np.concatenate(
-            [packet.coefficient_array(self.field), packet.payload_array(self.field)]
-        ).astype(self.field.dtype)
-        reduced = self._reduce_against_stored(row)
-        return self._first_nonzero_coefficient(reduced) is not None
+        coefficients = packet.coefficient_array(self.field)
+        # Helpful ⇔ the coefficient vector lies outside the stored row space
+        # (Definition 3); the payload never decides helpfulness.
+        return not self.backend.is_in_row_space(
+            self.field, self.coefficient_matrix(), coefficients
+        )
 
     # ------------------------------------------------------------------
     # Decoding
@@ -162,58 +183,15 @@ class RlncDecoder:
             raise DecodingError(
                 f"cannot decode: rank {self.rank} < generation size {self.k}"
             )
-        # Rows are in RREF with k pivots, so the coefficient part is a
-        # permutation-free identity: row i has pivot column i.
-        payloads = self.field.zeros((self.k, self.payload_length))
-        for row, pivot in zip(self._rows, self._pivot_of_row):
-            payloads[pivot] = row[self.k :]
-        return payloads
+        # At full rank the RREF coefficient part is the identity (row i has
+        # pivot column i), so the payload columns are the decoded messages.
+        return self._eliminator.basis(0)[:, self.k :]
 
     def matches_generation(self, generation: Generation) -> bool:
         """Convenience check used by tests: decoded payloads equal the ground truth."""
         if not self.is_complete:
             return False
         return bool(np.array_equal(self.decode(), generation.payload_matrix))
-
-    # ------------------------------------------------------------------
-    # Internal row operations
-    # ------------------------------------------------------------------
-    def _reduce_against_stored(self, row: np.ndarray) -> np.ndarray:
-        """Eliminate the stored pivots from ``row`` (returns a new array)."""
-        field = self.field
-        row = row.copy()
-        for stored, pivot in zip(self._rows, self._pivot_of_row):
-            factor = int(row[pivot])
-            if factor == 0:
-                continue
-            row = field.sub(row, field.scalar_mul(factor, stored))
-        return row
-
-    def _first_nonzero_coefficient(self, row: np.ndarray) -> int | None:
-        """Index of the first non-zero entry in the coefficient part, or ``None``."""
-        nonzero = np.nonzero(row[: self.k])[0]
-        if nonzero.size == 0:
-            return None
-        return int(nonzero[0])
-
-    def _insert_row(self, row: np.ndarray, pivot: int) -> None:
-        """Normalise ``row``, back-substitute into stored rows, insert in pivot order."""
-        field = self.field
-        pivot_value = int(row[pivot])
-        if pivot_value != 1:
-            row = field.scalar_mul(int(field.inv(pivot_value)), row)
-        # Eliminate the new pivot column from every stored row (keeps RREF).
-        for index, stored in enumerate(self._rows):
-            factor = int(stored[pivot])
-            if factor == 0:
-                continue
-            self._rows[index] = field.sub(stored, field.scalar_mul(factor, row))
-        # Insert keeping rows ordered by pivot column.
-        position = 0
-        while position < len(self._pivot_of_row) and self._pivot_of_row[position] < pivot:
-            position += 1
-        self._rows.insert(position, row)
-        self._pivot_of_row.insert(position, pivot)
 
     def __repr__(self) -> str:
         return (

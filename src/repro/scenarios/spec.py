@@ -264,6 +264,13 @@ class ScenarioSpec:
         every trial generator derives from.
     name, description:
         Registry identity and one-line purpose (empty for ad-hoc specs).
+    backend:
+        Compute backend the trials run under: a name from
+        :func:`repro.backends.all_backends`, or ``""`` (default) for the
+        ambient backend (``$REPRO_BACKEND`` or ``numpy``).  Backends are
+        bit-identical by contract, so the choice never affects results —
+        it is excluded from :meth:`fingerprint` and the
+        :class:`~repro.store.ResultStore` cache is backend-invariant.
 
     Examples
     --------
@@ -304,6 +311,7 @@ class ScenarioSpec:
     seed: int = 0
     name: str = ""
     description: str = ""
+    backend: str = ""
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "topology_params", _as_params(self.topology_params))
@@ -359,6 +367,26 @@ class ScenarioSpec:
                 "spanning-tree protocols do not support churn_reset (they "
                 "have no resettable per-node knowledge); use pause-mode churn"
             )
+        if self.backend:
+            # Fail at construction, not mid-sweep: the backend must exist and
+            # must support the scenario's field.
+            from ..backends import all_backends, get_backend
+            from ..errors import BackendError
+            from ..gf import GF
+
+            try:
+                resolved = get_backend(self.backend)
+            except BackendError:
+                raise ConfigurationError(
+                    f"unknown backend {self.backend!r}; "
+                    f"known: {sorted(all_backends())}"
+                ) from None
+            if not resolved.supports_field(GF(self.config.field_size)):
+                raise ConfigurationError(
+                    f"backend {self.backend!r} does not support "
+                    f"GF({self.config.field_size}); choose a supporting "
+                    "backend or change field_size"
+                )
 
     # ------------------------------------------------------------------
     # Derived views
@@ -440,9 +468,13 @@ class ScenarioSpec:
         placement is drawn at materialisation time from the spec's own seed:
         there the seed genuinely changes the workload, so it is folded back
         in as ``materialize_seed``.
+
+        ``backend`` is likewise excluded: backends are bit-identical by
+        contract (enforced by the conformance suite), so results computed
+        under ``numpy`` and ``gf2bit`` are interchangeable cache entries.
         """
         payload = self.to_dict()
-        for excluded in ("trials", "seed", "name", "description"):
+        for excluded in ("trials", "seed", "name", "description", "backend"):
             payload.pop(excluded, None)
         if self.placement == "random":
             payload["materialize_seed"] = self.seed
@@ -780,14 +812,17 @@ class MaterializedScenario:
         With a ``store``, trial 0 is served from (and persisted to) the same
         ``(fingerprint, seed, trial)`` records the batch runners use.
         """
+        from ..backends import use_backend
+
         effective_seed = self.spec.seed if seed is None else seed
         if store is not None and not fresh:
             cached = store.get(self.spec, 0, seed=effective_seed)
             if cached is not None:
                 return cached
         rng = derive_rng(effective_seed, "trial-0")
-        process = self.build_process(rng)
-        result = GossipEngine(self.graph, process, self.config, rng).run()
+        with use_backend(self.spec.backend):
+            process = self.build_process(rng)
+            result = GossipEngine(self.graph, process, self.config, rng).run()
         if store is not None:
             store.put(self.spec, 0, result, seed=effective_seed)
         return result

@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.backends import all_backends, get_backend, use_backend
 from repro.core import GossipAction, SimulationConfig, TimeModel
 from repro.gf import GF
 from repro.graphs import (
@@ -31,6 +32,32 @@ def rng() -> np.random.Generator:
 def any_field(request):
     """A representative spread of supported fields (prime and extension)."""
     return GF(request.param)
+
+
+@pytest.fixture(params=all_backends())
+def compute_backend(request):
+    """Every registered compute backend, installed as the ambient default.
+
+    Equivalence tests that parametrise over this fixture run once per
+    backend — decoders and batch engines built inside the test body resolve
+    the ambient backend, so the same assertions exercise every
+    implementation.  Tests whose field the backend rejects should clamp the
+    field (``backend_field`` does this) rather than skip, so each backend
+    still proves the full invariant set on a field it supports.
+    """
+    backend = get_backend(request.param)
+    with use_backend(backend.name):
+        yield backend
+
+
+@pytest.fixture
+def backend_field(compute_backend):
+    """A field the active ``compute_backend`` supports: GF(16) when it can,
+    else GF(2) (the one field every backend must support)."""
+    preferred = GF(16)
+    if compute_backend.supports_field(preferred):
+        return preferred
+    return GF(2)
 
 
 @pytest.fixture

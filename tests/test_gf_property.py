@@ -2,15 +2,19 @@
 
 These exercise the algebraic invariants RLNC correctness rests on: the field
 axioms (associativity, commutativity, distributivity, inverses) and the
-consistency of rank under row operations.
+consistency of rank under row operations.  The final block runs the same
+invariants once per registered compute backend — every backend must uphold
+them, not just the dense numpy reference.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.backends import all_backends, get_backend, use_backend
 from repro.gf import GF, rank, row_reduce
 
 FIELD_ORDERS = [2, 3, 5, 4, 16, 9]
@@ -113,3 +117,98 @@ def test_duplicating_a_row_never_changes_rank(data, row_index):
     row = matrix[row_index % matrix.shape[0]]
     augmented = np.vstack([matrix, row[np.newaxis, :]])
     assert rank(field, augmented) == rank(field, matrix)
+
+
+# ----------------------------------------------------------------------
+# Backend-invariant properties: every registered compute backend must
+# uphold the algebraic contract on a field it supports (GF(2) is the one
+# field all backends share).
+# ----------------------------------------------------------------------
+
+
+def _backend_matrix(backend_name: str):
+    """A random matrix over a field the named backend supports."""
+    backend = get_backend(backend_name)
+    orders = [q for q in (2, 16) if backend.supports_field(GF(q))]
+
+    @st.composite
+    def build(draw):
+        order = draw(st.sampled_from(orders))
+        rows = draw(st.integers(min_value=1, max_value=6))
+        cols = draw(st.integers(min_value=1, max_value=7))
+        entries = draw(
+            st.lists(
+                st.lists(elements(order), min_size=cols, max_size=cols),
+                min_size=rows,
+                max_size=rows,
+            )
+        )
+        return GF(order), np.array(entries, dtype=np.int64)
+
+    return build()
+
+
+@pytest.mark.parametrize("backend_name", all_backends())
+class TestBackendAlgebraicInvariants:
+    """Rank monotonicity, idempotent re-elimination, helpfulness ⇔ rank."""
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_rank_monotone_under_row_append(self, backend_name, data):
+        field, matrix = data.draw(_backend_matrix(backend_name))
+        extra = data.draw(
+            st.lists(
+                elements(field.order),
+                min_size=matrix.shape[1],
+                max_size=matrix.shape[1],
+            )
+        )
+        with use_backend(backend_name):
+            base = rank(field, matrix)
+            grown = rank(
+                field, np.vstack([matrix, np.array(extra, dtype=np.int64)])
+            )
+        assert base <= grown <= base + 1
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_row_reduce_is_idempotent(self, backend_name, data):
+        field, matrix = data.draw(_backend_matrix(backend_name))
+        with use_backend(backend_name):
+            reduced, pivots = row_reduce(field, matrix)
+            again, pivots_again = row_reduce(field, reduced)
+        assert pivots_again == pivots
+        assert np.array_equal(again, reduced)
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_helpful_iff_rank_increases(self, backend_name, data):
+        field, matrix = data.draw(_backend_matrix(backend_name))
+        candidate = np.array(
+            data.draw(
+                st.lists(
+                    elements(field.order),
+                    min_size=matrix.shape[1],
+                    max_size=matrix.shape[1],
+                )
+            ),
+            dtype=np.int64,
+        )
+        backend = get_backend(backend_name)
+        columns = matrix.shape[1]
+        with use_backend(backend_name):
+            eliminator = backend.make_eliminator(field, 1, columns)
+            for row in matrix:
+                eliminator.eliminate(
+                    field.validate(row)[np.newaxis, :], np.zeros(1, np.int64)
+                )
+            before = eliminator.rank_of(0)
+            helpful = bool(
+                eliminator.eliminate(
+                    field.validate(candidate)[np.newaxis, :],
+                    np.zeros(1, np.int64),
+                )[0]
+            )
+            after = eliminator.rank_of(0)
+        assert helpful == (after == before + 1)
+        assert (not helpful) == (after == before)

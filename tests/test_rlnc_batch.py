@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.backends import get_backend
 from repro.errors import DecodingError, FieldError
 from repro.gf import GF, BatchEliminator, rank as matrix_rank
 from repro.rlnc import BatchDecoder, RlncDecoder
@@ -94,6 +95,58 @@ class TestBatchDecoderMatchesScalar:
                 )
                 assert bool(single[0]) == bool(mask[problem])
         assert np.array_equal(together.ranks, one_by_one.ranks)
+
+
+class TestBatchDecoderMatchesScalarAcrossBackends:
+    """The scalar/batch agreement of the class above, once per backend.
+
+    ``compute_backend`` installs each registered backend as the ambient
+    default, so both decoders below are built on it; ``backend_field``
+    clamps the field to one the backend supports.  The health check is
+    suppressed because the fixtures are deterministic per parametrisation —
+    hypothesis re-drawing examples against the same fixture value is exactly
+    what we want here.
+    """
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        k=st.integers(min_value=1, max_value=6),
+        problems=st.integers(min_value=1, max_value=4),
+        packets=st.integers(min_value=0, max_value=30),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_trace_agrees_per_packet(
+        self, compute_backend, backend_field, k, problems, packets, seed
+    ):
+        field = backend_field
+        rng = np.random.default_rng(seed)
+        batch = BatchDecoder(field, k, problems)
+        scalars = [RlncDecoder(field, k, payload_length=1) for _ in range(problems)]
+        assert batch.backend is compute_backend
+        assert all(scalar.backend is compute_backend for scalar in scalars)
+        for problem, row in _random_trace(field, k, problems, packets, rng):
+            packet = CodedPacket.from_arrays(row, field.zeros(1))
+            expected = scalars[problem].receive(packet)
+            got = bool(batch.receive(row[np.newaxis, :], np.array([problem]))[0])
+            assert got == expected
+        for problem, scalar in enumerate(scalars):
+            assert batch.rank_of(problem) == scalar.rank
+            assert np.array_equal(
+                batch.coefficient_matrix(problem), scalar.coefficient_matrix()
+            )
+
+    def test_explicit_backend_argument_overrides_ambient(self):
+        gf2 = GF(2)
+        packed = BatchDecoder(gf2, k=3, problems=2, backend="gf2bit")
+        assert packed.backend is get_backend("gf2bit")
+        scalar = RlncDecoder(gf2, k=3, payload_length=1, backend="gf2bit")
+        assert scalar.backend is get_backend("gf2bit")
+        # The ambient default is untouched by the explicit argument.
+        assert BatchDecoder(gf2, k=3, problems=2).backend is get_backend("numpy")
 
 
 class TestBatchEliminator:

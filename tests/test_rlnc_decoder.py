@@ -149,3 +149,20 @@ class TestDecode:
             attempts += 1
         assert sink.is_complete
         assert np.array_equal(sink.decode(), generation.payload_matrix)
+
+    def test_round_trip_across_backends(self, compute_backend, backend_field, rng):
+        """Full encode → gossip → decode payload recovery on every backend."""
+        field = backend_field
+        generation = Generation.random(field, k=5, payload_length=3, rng=rng)
+        source = RlncDecoder(field, 5, 3)
+        for index in range(5):
+            source.add_source_message(index, generation.payload_matrix[index])
+        sink = RlncDecoder(field, 5, 3)
+        assert sink.backend is compute_backend
+        attempts = 0
+        while not sink.is_complete and attempts < 500:
+            sink.receive(encode_from_decoder(source, rng))
+            attempts += 1
+        assert sink.is_complete
+        assert np.array_equal(sink.decode(), generation.payload_matrix)
+        assert sink.matches_generation(generation)
