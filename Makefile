@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-slow bench-smoke bench-json bench-check backend-check scenarios-check store-check docs-check docs-api docs-api-check campaigns-check
+.PHONY: test test-slow bench-smoke bench-json bench-check backend-check event-check scenarios-check store-check docs-check docs-api docs-api-check campaigns-check
 
 ## Tier-1 test suite (unit + property + integration).  Tests marked `slow`
 ## (the large batch-vs-scalar equivalence sweeps) are skipped here.  The
@@ -41,7 +41,8 @@ bench-smoke:
 ## (timings, speedup, workload, git rev) for cross-revision tracking.
 bench-json:
 	$(PYTHON) -m pytest benchmarks/bench_batch_core.py benchmarks/bench_batch_tag.py \
-		benchmarks/bench_backend_gf2.py --benchmark-only -q
+		benchmarks/bench_backend_gf2.py benchmarks/bench_event_engine.py \
+		--benchmark-only -q
 	@ls -l benchmarks/output/BENCH_*.json
 
 ## Perf-trajectory guard: fails if any committed BENCH_*.json record's batch
@@ -59,6 +60,18 @@ backend-check:
 	$(PYTHON) -m pytest tests/test_backend_conformance.py -q
 	REPRO_BENCH_GF2_N=48 REPRO_BENCH_GF2_TRIALS=4 REPRO_BENCH_GF2_MIN_SPEEDUP=2 \
 		$(PYTHON) -m pytest benchmarks/bench_backend_gf2.py --benchmark-only -q
+
+## Event-driven engine contract: the full equivalence/refusal/dispatch suite
+## (event vs scalar bit-identity over both time models, churn, rates, loss;
+## single-problem eliminator fast paths; typed EngineError refusals) plus a
+## scaled-down run of the crossover benchmark proving the event engine is
+## faster than the lockstep batch engine *and* bit-identical to it.  The
+## full-size >=1.5x floor at n=4096 is asserted by `make bench-json` / the
+## committed BENCH record.
+event-check:
+	$(PYTHON) -m pytest tests/test_event_engine.py -q
+	REPRO_BENCH_EVENT_MAX_N=512 REPRO_BENCH_EVENT_TRIALS=2 REPRO_BENCH_EVENT_MIN_SPEEDUP=1.2 \
+		$(PYTHON) -m pytest benchmarks/bench_event_engine.py --benchmark-only -q
 
 ## Scenario-registry health check: materialise and smoke-run (1 trial) every
 ## registered scenario through the CLI.

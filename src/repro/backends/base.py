@@ -88,6 +88,43 @@ class EliminatorState(ABC):
         result is a dense ``(columns,)`` row of field elements.
         """
 
+    def combine_one(self, index: int, coefficients: np.ndarray):
+        """Encode step for one problem in the backend's *native* payload form.
+
+        Semantically identical to :meth:`combine`, but the return value is an
+        opaque payload understood only by :meth:`eliminate_one` on the same
+        eliminator — a backend may hand back a packed representation so the
+        event-driven engine's per-delivery cost stays flat instead of paying
+        dense pack/unpack round-trips on every message.  The default simply
+        returns the dense :meth:`combine` row.
+        """
+        return self.combine(index, coefficients)
+
+    def eliminate_one(self, index: int, payload) -> bool:
+        """Absorb one :meth:`combine_one` payload into one problem.
+
+        Returns the helpfulness flag.  Must be bit-identical to a single-row
+        :meth:`eliminate` call on the dense equivalent of ``payload`` — the
+        packed fast paths change the representation, never the arithmetic.
+        """
+        row = np.asarray(payload)
+        mask = self.eliminate(row[np.newaxis, :], np.array([index], dtype=np.int64))
+        return bool(mask[0])
+
+    def reset_problems(self, indices: np.ndarray) -> None:
+        """Wipe the selected problems back to the empty (rank-zero) state.
+
+        Used by the event-driven engine for reset-mode churn: a crashing
+        node's problem is cleared and re-seeded with its initial knowledge.
+        Both shipped eliminators implement it; the default refuses loudly so
+        a backend that cannot reset never pretends to.
+        """
+        from ..errors import BackendError
+
+        raise BackendError(
+            f"{type(self).__name__} does not support resetting individual problems"
+        )
+
 
 class ComputeBackend(ABC):
     """One complete arithmetic kernel for finite-field linear algebra.

@@ -76,11 +76,12 @@ process that executes it.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
 from pathlib import Path
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from .analysis import format_table, table1_rows, table2_rows
 from .backends import all_backends
@@ -254,6 +255,25 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument(
+        "--engine", choices=["scalar", "batch", "event"], default="",
+        help=(
+            "pin the engine family: scalar (sequential reference), batch "
+            "(lockstep vectorised trials) or event (event-driven sparse "
+            "engine for large n); engines are bit-identical, so this changes "
+            "wall-clock only — an engine that cannot run the workload "
+            "refuses instead of falling back (default: auto-select)"
+        ),
+    )
+    run_parser.add_argument(
+        "--profile", type=Path, nargs="?", const=Path("repro-run.prof"),
+        default=None, metavar="PROF",
+        help=(
+            "profile the simulation loop with cProfile (any engine family): "
+            "dump the stats to PROF (default: %(const)s) and print the top "
+            "20 functions by cumulative time"
+        ),
+    )
+    run_parser.add_argument(
         "--show-spec", action="store_true",
         help=(
             "print the ScenarioSpec JSON these flags describe instead of "
@@ -331,6 +351,23 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "override the spec's compute backend (bit-identical results, "
             "different wall-clock; default: the spec's own choice)"
+        ),
+    )
+    scenario_run_parser.add_argument(
+        "--engine", choices=["scalar", "batch", "event"], default="",
+        help=(
+            "override the spec's engine family (scalar / batch / event; "
+            "bit-identical results, different wall-clock; default: the "
+            "spec's own choice)"
+        ),
+    )
+    scenario_run_parser.add_argument(
+        "--profile", type=Path, nargs="?", const=Path("repro-run.prof"),
+        default=None, metavar="PROF",
+        help=(
+            "profile the simulation loop with cProfile: dump the stats to "
+            "PROF (default: %(const)s) and print the top 20 functions by "
+            "cumulative time"
         ),
     )
     _add_store_arguments(scenario_run_parser)
@@ -620,7 +657,34 @@ def _spec_from_run_args(args: argparse.Namespace) -> ScenarioSpec:
         trials=args.trials,
         seed=args.seed,
         backend=args.backend,
+        engine=args.engine,
     )
+
+
+@contextlib.contextmanager
+def _profiled(path: "Path | None") -> Iterator[None]:
+    """cProfile the enclosed block: dump stats to ``path``, print the top 20.
+
+    A ``None`` path is a no-op passthrough so the run commands can wrap their
+    simulation loop unconditionally.  The profile brackets exactly the engine
+    execution — materialisation (graph building, placement resolution) stays
+    outside, so the printed hotspots are the simulation's own.
+    """
+    if path is None:
+        yield
+        return
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+        print(f"profile: full stats written to {path}")
 
 
 def _run_scenario_spec(
@@ -633,6 +697,7 @@ def _run_scenario_spec(
     store: ResultStore | None = None,
     fresh: bool = False,
     title_prefix: str | None = None,
+    profile: "Path | None" = None,
 ) -> int:
     """Shared execution path of ``run`` and ``scenario run``.
 
@@ -652,13 +717,17 @@ def _run_scenario_spec(
         print(f"error: --trials must be positive, got {trials}", file=sys.stderr)
         return 2
     if trials == 1:
-        result = scenario.run_single(store=store, fresh=fresh)
+        with _profiled(profile):
+            result = scenario.run_single(store=store, fresh=fresh)
         print(f"{title}: {result.summary()}")
         for key, value in sorted(result.metadata.items()):
             print(f"  {key}: {value}")
         _print_store_summary(store)
         return 0 if result.completed else 1
-    stats = scenario.run(trials=trials, jobs=jobs, batch=batch, store=store, fresh=fresh)
+    with _profiled(profile):
+        stats = scenario.run(
+            trials=trials, jobs=jobs, batch=batch, store=store, fresh=fresh
+        )
     print(f"{title}: {stats.summary()}")
     _print_store_summary(store)
     return 0
@@ -687,6 +756,7 @@ def _command_run(args: argparse.Namespace) -> int:
         store=_open_store(args),
         fresh=args.fresh,
         title_prefix=f"{args.protocol} on",
+        profile=args.profile,
     )
 
 
@@ -739,6 +809,8 @@ def _command_scenario(args: argparse.Namespace) -> int:
             spec = get_scenario(args.name)
         if args.backend:
             spec = spec.replace(backend=args.backend)
+        if args.engine:
+            spec = spec.replace(engine=args.engine)
         return _run_scenario_spec(
             spec,
             trials=args.trials,
@@ -747,6 +819,7 @@ def _command_scenario(args: argparse.Namespace) -> int:
             batch=args.batch,
             store=_open_store(args),
             fresh=args.fresh,
+            profile=args.profile,
         )
     return _command_scenario_check(args)
 

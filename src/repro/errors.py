@@ -50,6 +50,17 @@ class ConfigurationError(ReproError):
     """Raised when a :class:`SimulationConfig` contains inconsistent values."""
 
 
+class EngineError(ReproError):
+    """Raised when an explicitly requested engine cannot run a workload.
+
+    The engine axis (``scalar`` / ``batch`` / ``event``) never falls back
+    silently: asking the batch engines for reset-mode churn, or the
+    event-driven engine for a protocol outside rank-only uniform algebraic
+    gossip, refuses with this error so a run always executes on exactly the
+    engine it named.
+    """
+
+
 class BackendError(ReproError):
     """Raised when a compute backend cannot honour a request.
 

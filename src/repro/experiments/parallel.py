@@ -236,6 +236,7 @@ def _measure_trial_indices(
     trial_indices: Sequence[int],
     batch: bool,
     backend: str = "",
+    engine: str = "",
 ) -> list[RunResult]:
     """Run the selected trial streams, batched when allowed and possible.
 
@@ -247,14 +248,39 @@ def _measure_trial_indices(
     ``backend`` installs a compute backend for the duration of the runs
     (``""`` keeps the ambient one); since backends are bit-identical by
     contract, it affects wall-clock only, never the results.
+
+    ``engine`` pins the engine family: ``""`` (default) auto-selects as
+    described above, ``"scalar"`` forces the sequential engine, ``"batch"``
+    requires the batch fast path and ``"event"`` requires the event-driven
+    sparse engine.  Engines are bit-identical per trial stream, so pinning
+    affects wall-clock only; a pinned engine that cannot run the workload
+    raises :class:`~repro.errors.EngineError` — never a silent fallback.
     """
     from ..backends import use_backend
+    from ..errors import EngineError
 
+    rngs = [derive_rng(seed, f"trial-{index}") for index in trial_indices]
+    if engine == "event":
+        from ..gossip.event import run_event_trials
+
+        with use_backend(backend):
+            processes = [protocol_factory(graph, rng) for rng in rngs]
+            return run_event_trials(graph, processes, config, rngs)
+    if engine == "scalar":
+        batch = False
+    require_batch = engine == "batch"
+    if require_batch:
+        if not batch_supports_config(config):
+            raise EngineError(
+                "the batch engines do not support this configuration "
+                "(reset-mode churn); drop engine='batch' or pick "
+                "'scalar'/'event'"
+            )
+        batch = True
     # Reset-mode churn is outside the batch support matrix: fall back to the
     # scalar engine explicitly rather than letting a strategy fail mid-run.
     if not batch_supports_config(config):
         batch = False
-    rngs = [derive_rng(seed, f"trial-{index}") for index in trial_indices]
     results: list[RunResult] = []
     remaining = list(rngs)
     with use_backend(backend):
@@ -266,6 +292,11 @@ def _measure_trial_indices(
                     protocol_factory(graph, rng) for rng in remaining[1:]
                 ]
                 return strategy(graph, processes, config, rngs)
+            if require_batch:
+                raise EngineError(
+                    f"{type(first).__name__} declares no batch strategy; "
+                    "drop engine='batch' or pick 'scalar'"
+                )
             results.append(GossipEngine(graph, first, config, remaining[0]).run())
             remaining = remaining[1:]
         for rng in remaining:
@@ -317,18 +348,20 @@ def measure_protocol_batched(
         graph, protocol_factory, config, trials, seed, spec
     )
     backend = getattr(spec, "backend", "") or ""
+    engine = getattr(spec, "engine", "") or ""
     if trial_indices is None:
         if trials < 1:
             raise AnalysisError(f"trials must be positive, got {trials}")
         trial_indices = range(trials)
     if store is None:
         return _measure_trial_indices(
-            graph, protocol_factory, config, seed, trial_indices, True, backend
+            graph, protocol_factory, config, seed, trial_indices, True, backend,
+            engine,
         )
     return _run_through_store(
         store, spec, seed, trial_indices, fresh,
         lambda missing: _measure_trial_indices(
-            graph, protocol_factory, config, seed, missing, True, backend
+            graph, protocol_factory, config, seed, missing, True, backend, engine
         ),
     )
 
@@ -361,11 +394,11 @@ def run_trials_batched(
 
 def _run_chunk(payload: bytes) -> list[RunResult]:
     """Worker entry point: unpickle one chunk description and run it."""
-    graph, protocol_factory, config, seed, indices, batch, backend = pickle.loads(
-        payload
-    )
+    (
+        graph, protocol_factory, config, seed, indices, batch, backend, engine,
+    ) = pickle.loads(payload)
     return _measure_trial_indices(
-        graph, protocol_factory, config, seed, indices, batch, backend
+        graph, protocol_factory, config, seed, indices, batch, backend, engine
     )
 
 
@@ -391,24 +424,28 @@ def _measure_indices_chunked(
     jobs: int,
     batch: bool,
     backend: str = "",
+    engine: str = "",
 ) -> list[RunResult]:
     """Run the given trial streams over up to ``jobs`` worker processes.
 
-    The backend name travels inside each pickled chunk so worker processes
-    install the same compute backend the parent would use.
+    The backend and engine names travel inside each pickled chunk so worker
+    processes install the same compute backend and run the same engine family
+    the parent would use.
     """
     if not trial_indices:
         return []
     jobs = min(jobs, len(trial_indices))
     if jobs == 1:
         return _measure_trial_indices(
-            graph, protocol_factory, config, seed, trial_indices, batch, backend
+            graph, protocol_factory, config, seed, trial_indices, batch, backend,
+            engine,
         )
     chunks = _chunks(trial_indices, jobs)
     try:
         payloads = [
             pickle.dumps(
-                (graph, protocol_factory, config, seed, chunk, batch, backend)
+                (graph, protocol_factory, config, seed, chunk, batch, backend,
+                 engine)
             )
             for chunk in chunks
         ]
@@ -417,7 +454,8 @@ def _measure_indices_chunked(
         # process boundary; run them in-process instead — the results are
         # identical, only the wall-clock differs.
         return _measure_trial_indices(
-            graph, protocol_factory, config, seed, trial_indices, batch, backend
+            graph, protocol_factory, config, seed, trial_indices, batch, backend,
+            engine,
         )
     if _SHARED_POOL is not None:
         # Inside a shared_process_pool() block: reuse the long-lived workers
@@ -472,6 +510,7 @@ def measure_protocol_parallel(
         graph, protocol_factory, config, trials, seed, spec
     )
     backend = getattr(spec, "backend", "") or ""
+    engine = getattr(spec, "engine", "") or ""
     if trials < 1:
         raise AnalysisError(f"trials must be positive, got {trials}")
     jobs = default_jobs() if jobs is None else jobs
@@ -479,12 +518,14 @@ def measure_protocol_parallel(
         raise AnalysisError(f"jobs must be positive, got {jobs}")
     if store is None:
         return _measure_indices_chunked(
-            graph, protocol_factory, config, seed, range(trials), jobs, batch, backend
+            graph, protocol_factory, config, seed, range(trials), jobs, batch,
+            backend, engine,
         )
     return _run_through_store(
         store, spec, seed, range(trials), fresh,
         lambda missing: _measure_indices_chunked(
-            graph, protocol_factory, config, seed, missing, jobs, batch, backend
+            graph, protocol_factory, config, seed, missing, jobs, batch, backend,
+            engine,
         ),
     )
 

@@ -20,6 +20,12 @@ from .communication import (
 )
 from .dynamics import NodeDynamics
 from .engine import BatchRunner, GossipEngine, GossipProcess, Transmission, run_protocol
+from .event import (
+    EventGossipEngine,
+    event_supports_config,
+    event_supports_process,
+    run_event_trials,
+)
 from .trace import EventTrace, GossipEvent
 
 __all__ = [
@@ -41,6 +47,10 @@ __all__ = [
     "GossipProcess",
     "Transmission",
     "run_protocol",
+    "EventGossipEngine",
+    "event_supports_config",
+    "event_supports_process",
+    "run_event_trials",
     "EventTrace",
     "GossipEvent",
 ]

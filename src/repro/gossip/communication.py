@@ -24,6 +24,7 @@ import networkx as nx
 import numpy as np
 
 from ..errors import SimulationError
+from ..graphs.topologies import neighbor_lists
 
 __all__ = [
     "PartnerSelector",
@@ -48,9 +49,9 @@ class UniformSelector(PartnerSelector):
     """Definition 1: partner chosen uniformly at random among the neighbours."""
 
     def __init__(self, graph: nx.Graph) -> None:
-        self._neighbors = {
-            node: tuple(sorted(graph.neighbors(node))) for node in graph.nodes()
-        }
+        # Memoized per graph instance: trial runners reuse one graph across
+        # all trials of a sweep, so adjacency is built once, not per trial.
+        self._neighbors = neighbor_lists(graph)
         for node, neighbors in self._neighbors.items():
             if not neighbors:
                 raise SimulationError(f"node {node} has no neighbours; graph must be connected")
@@ -70,11 +71,12 @@ class RoundRobinSelector(PartnerSelector):
 
     def __init__(self, graph: nx.Graph, rng: np.random.Generator | None = None) -> None:
         rng = rng if rng is not None else np.random.default_rng(0)
+        neighbors_map = neighbor_lists(graph)
         self._neighbors: dict[int, tuple[int, ...]] = {}
         self._initial_offset: dict[int, int] = {}
         self._position: dict[int, int] = {}
         for node in graph.nodes():
-            neighbors = tuple(sorted(graph.neighbors(node)))
+            neighbors = neighbors_map[node]
             if not neighbors:
                 raise SimulationError(f"node {node} has no neighbours; graph must be connected")
             self._neighbors[node] = neighbors

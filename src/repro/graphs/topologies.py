@@ -19,6 +19,7 @@ the paper mentions explicitly:
 from __future__ import annotations
 
 import math
+import weakref
 from typing import Callable, TypeVar
 
 import networkx as nx
@@ -34,6 +35,8 @@ __all__ = [
     "TOPOLOGY_BUILDERS",
     "register_topology",
     "build_topology",
+    "neighbor_lists",
+    "csr_adjacency",
 ]
 
 #: Registry mapping a topology name to its builder.  Populated exclusively by
@@ -67,6 +70,65 @@ def register_topology(name: str) -> Callable[[_Builder], _Builder]:
         return builder
 
     return decorate
+
+
+# Memoized adjacency, keyed per graph *instance*.  Trial runners reuse one
+# graph object across every trial of a sweep, so the sorted neighbour lists
+# (and the CSR form the event-driven engine walks) are built once per graph
+# instead of once per trial.  WeakKeyDictionary keeps the cache from pinning
+# graphs alive; the (nodes, edges) key guards against in-place mutation.
+_NEIGHBOR_CACHE: "weakref.WeakKeyDictionary[nx.Graph, tuple]" = (
+    weakref.WeakKeyDictionary()
+)
+_CSR_CACHE: "weakref.WeakKeyDictionary[nx.Graph, tuple]" = weakref.WeakKeyDictionary()
+
+
+def neighbor_lists(graph: nx.Graph) -> dict[int, tuple[int, ...]]:
+    """Sorted neighbour tuple per node, memoized per graph instance.
+
+    This is the neighbour ordering every partner selector draws against
+    (``tuple(sorted(graph.neighbors(node)))``), so consumers share one
+    construction per graph rather than rebuilding adjacency per trial.
+    Callers must treat the returned mapping as immutable.
+    """
+    shape = (graph.number_of_nodes(), graph.number_of_edges())
+    cached = _NEIGHBOR_CACHE.get(graph)
+    if cached is not None and cached[0] == shape:
+        return cached[1]
+    lists = {node: tuple(sorted(graph.neighbors(node))) for node in graph.nodes()}
+    _NEIGHBOR_CACHE[graph] = (shape, lists)
+    return lists
+
+
+def csr_adjacency(graph: nx.Graph) -> tuple[np.ndarray, np.ndarray]:
+    """Compressed-sparse-row adjacency in node-*position* space, memoized.
+
+    Returns ``(indptr, indices)``: the neighbours of the node at position
+    ``p`` of ``sorted(graph.nodes())`` are ``indices[indptr[p]:indptr[p+1]]``
+    (themselves positions, in ascending node order — the same ordering
+    :func:`neighbor_lists` exposes).  Both arrays are read-only; this is the
+    O(E) structure the event-driven engine walks instead of an n×n matrix.
+    """
+    shape = (graph.number_of_nodes(), graph.number_of_edges())
+    cached = _CSR_CACHE.get(graph)
+    if cached is not None and cached[0] == shape:
+        return cached[1]
+    lists = neighbor_lists(graph)
+    nodes = sorted(lists)
+    pos = {node: index for index, node in enumerate(nodes)}
+    degrees = np.fromiter((len(lists[node]) for node in nodes), dtype=np.int64,
+                          count=len(nodes))
+    indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    indices = np.fromiter(
+        (pos[neighbor] for node in nodes for neighbor in lists[node]),
+        dtype=np.int64,
+        count=int(indptr[-1]),
+    )
+    indptr.setflags(write=False)
+    indices.setflags(write=False)
+    _CSR_CACHE[graph] = (shape, (indptr, indices))
+    return indptr, indices
 
 
 def _relabel_consecutive(graph: nx.Graph) -> nx.Graph:
@@ -373,6 +435,72 @@ def erdos_renyi_graph(n: int, average_degree: float = 6.0, seed: int = 0) -> nx.
             return _relabel_consecutive(graph)
         p = min(1.0, p * 1.2)
     raise TopologyError(f"failed to sample a connected G({n}, p) graph")  # pragma: no cover
+
+
+@register_topology("erdos_renyi_logn")
+def erdos_renyi_logn_graph(n: int, c: float = 2.0, seed: int = 0) -> nx.Graph:
+    """Connected ``G(n, p)`` at the connectivity threshold: ``p = c·log n / n``.
+
+    The sparse regime the event-driven engine targets: average degree
+    ``c·log n`` keeps the edge count ``O(n log n)`` while ``c > 1`` keeps the
+    graph connected with high probability (retries with a gently inflated
+    ``p`` cover the rest).  Sampling derives deterministically from ``seed``,
+    so equal ``(n, c, seed)`` always yields the same graph — what keeps
+    scenario fingerprints stable.
+    """
+    _check_size(n, minimum=4)
+    if c <= 1.0:
+        raise TopologyError(
+            f"c must exceed 1 (the connectivity threshold of G(n, c log n / n)), got {c}"
+        )
+    p = min(1.0, c * math.log(n) / n)
+    rng = np.random.default_rng(seed)
+    for attempt in range(100):
+        graph = nx.fast_gnp_random_graph(n, p, seed=int(rng.integers(0, 2**31)))
+        if nx.is_connected(graph):
+            return _relabel_consecutive(graph)
+        p = min(1.0, p * 1.2)
+    raise TopologyError(
+        f"failed to sample a connected G({n}, {c} log n / n) graph"
+    )  # pragma: no cover - overwhelmingly unlikely for c > 1
+
+
+@register_topology("ring_of_cliques")
+def ring_of_cliques_graph(n: int, cliques: int = 4) -> nx.Graph:
+    """``cliques`` equal cliques arranged in a ring, consecutive ones sharing one edge.
+
+    The cyclic cousin of the clique chain: with ``cliques = Θ(n / log n)``
+    the graph stays sparse (``O(n log n)`` edges for clique size
+    ``Θ(log n)``) while every inter-clique path crosses single-edge
+    bottlenecks — a deterministic large-n stress case for the event-driven
+    engine.  Entirely deterministic, so scenario fingerprints are stable by
+    construction.
+    """
+    _check_size(n, minimum=2 * cliques)
+    if cliques < 3:
+        raise TopologyError(
+            f"ring_of_cliques_graph needs at least 3 cliques to form a ring, got {cliques}"
+        )
+    size = n // cliques
+    if size < 2:
+        raise TopologyError(
+            f"ring_of_cliques_graph with n={n}, cliques={cliques} leaves cliques too small"
+        )
+    graph = nx.Graph()
+    groups: list[list[int]] = []
+    next_node = 0
+    for index in range(cliques):
+        count = size + (1 if index < n - size * cliques else 0)
+        group = list(range(next_node, next_node + count))
+        next_node += count
+        for i, u in enumerate(group):
+            for v in group[i + 1 :]:
+                graph.add_edge(u, v)
+        groups.append(group)
+    for left, right in zip(groups, groups[1:]):
+        graph.add_edge(left[-1], right[0])
+    graph.add_edge(groups[-1][-1], groups[0][0])
+    return graph
 
 
 @register_topology("expander")

@@ -271,6 +271,20 @@ class ScenarioSpec:
         bit-identical by contract, so the choice never affects results —
         it is excluded from :meth:`fingerprint` and the
         :class:`~repro.store.ResultStore` cache is backend-invariant.
+    engine:
+        Which engine family runs the trials: ``""`` (default) lets the trial
+        runners choose (batch fast path when eligible, sequential otherwise),
+        ``"scalar"`` forces the sequential :class:`~repro.gossip.GossipEngine`,
+        ``"batch"`` requires the lockstep batch fast path, ``"event"``
+        requires the event-driven sparse engine
+        (:class:`~repro.gossip.EventGossipEngine`).  Engines are bit-identical
+        by contract (asserted by ``tests/test_event_engine.py`` and the batch
+        equivalence suite), so the choice never affects results and is
+        excluded from :meth:`fingerprint`; a named engine that cannot run the
+        workload refuses eagerly — ``"batch"`` with reset-mode churn and
+        ``"event"`` with a non-uniform protocol are rejected here, anything
+        discovered later raises :class:`~repro.errors.EngineError` instead of
+        falling back silently.
 
     Examples
     --------
@@ -312,6 +326,7 @@ class ScenarioSpec:
     name: str = ""
     description: str = ""
     backend: str = ""
+    engine: str = ""
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "topology_params", _as_params(self.topology_params))
@@ -366,6 +381,21 @@ class ScenarioSpec:
             raise ConfigurationError(
                 "spanning-tree protocols do not support churn_reset (they "
                 "have no resettable per-node knowledge); use pause-mode churn"
+            )
+        if self.engine not in ("", "scalar", "batch", "event"):
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; "
+                "known: ['', 'batch', 'event', 'scalar']"
+            )
+        if self.engine == "batch" and self.config.churn_reset:
+            raise ConfigurationError(
+                "the batch engines do not support reset-mode churn; use "
+                "engine='event' (or the scalar engine) for churn_reset"
+            )
+        if self.engine == "event" and self.protocol != "uniform":
+            raise ConfigurationError(
+                f"the event-driven engine runs uniform algebraic gossip only; "
+                f"protocol {self.protocol!r} must use the scalar or batch engines"
             )
         if self.backend:
             # Fail at construction, not mid-sweep: the backend must exist and
@@ -472,9 +502,12 @@ class ScenarioSpec:
         ``backend`` is likewise excluded: backends are bit-identical by
         contract (enforced by the conformance suite), so results computed
         under ``numpy`` and ``gf2bit`` are interchangeable cache entries.
+        So is ``engine``: all engine families produce bit-identical per-seed
+        results (asserted by the equivalence suites), so scalar, batch and
+        event-driven runs are interchangeable cache entries too.
         """
         payload = self.to_dict()
-        for excluded in ("trials", "seed", "name", "description", "backend"):
+        for excluded in ("trials", "seed", "name", "description", "backend", "engine"):
             payload.pop(excluded, None)
         if self.placement == "random":
             payload["materialize_seed"] = self.seed
@@ -807,10 +840,13 @@ class MaterializedScenario:
     def run_single(
         self, *, seed: int | None = None, store: Any = None, fresh: bool = False
     ) -> RunResult:
-        """One sequential-engine run — exactly trial 0 of the Monte Carlo plan.
+        """One single-trial run — exactly trial 0 of the Monte Carlo plan.
 
-        With a ``store``, trial 0 is served from (and persisted to) the same
-        ``(fingerprint, seed, trial)`` records the batch runners use.
+        Runs the sequential engine unless the spec pins another engine family
+        (all families are bit-identical per seed, so the choice never changes
+        the result).  With a ``store``, trial 0 is served from (and persisted
+        to) the same ``(fingerprint, seed, trial)`` records the batch runners
+        use — engine-invariantly, like the cache itself.
         """
         from ..backends import use_backend
 
@@ -819,10 +855,28 @@ class MaterializedScenario:
             cached = store.get(self.spec, 0, seed=effective_seed)
             if cached is not None:
                 return cached
+        engine = getattr(self.spec, "engine", "") or ""
         rng = derive_rng(effective_seed, "trial-0")
         with use_backend(self.spec.backend):
             process = self.build_process(rng)
-            result = GossipEngine(self.graph, process, self.config, rng).run()
+            if engine == "event":
+                from ..gossip.event import EventGossipEngine
+
+                result = EventGossipEngine(self.graph, process, self.config, rng).run()
+            elif engine == "batch":
+                from ..errors import EngineError
+                from ..gossip.batch import batch_supports_config
+
+                strategy = process.batch_strategy()
+                if strategy is None or not batch_supports_config(self.config):
+                    raise EngineError(
+                        f"the batch engines cannot run scenario "
+                        f"{self.label!r}; drop engine='batch' or pick "
+                        "'scalar'/'event'"
+                    )
+                result = strategy(self.graph, [process], self.config, [rng])[0]
+            else:
+                result = GossipEngine(self.graph, process, self.config, rng).run()
         if store is not None:
             store.put(self.spec, 0, result, seed=effective_seed)
         return result

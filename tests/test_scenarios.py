@@ -316,7 +316,12 @@ class TestRegistry:
         spec = get_scenario(name)
         assert spec.name == name
         assert spec.description
-        assert spec.n <= 32, "registered scenarios must stay CI-sized"
+        # "CI-sized" means seconds per trial.  For the dense engines that
+        # caps n at a few dozen; the event-driven engine's per-event cost
+        # lets its large-n showcase entries carry thousands of nodes and
+        # still run in about a second.
+        ci_cap = 2048 if spec.engine == "event" else 32
+        assert spec.n <= ci_cap, "registered scenarios must stay CI-sized"
         stats = spec.materialize().run(trials=1)
         assert stats.trials == 1
         assert stats.mean > 0
