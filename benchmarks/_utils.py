@@ -170,6 +170,24 @@ def _git_revision() -> str | None:
         return None
 
 
+def peak_rss_mib() -> float | None:
+    """This process's lifetime peak RSS in MiB, or ``None`` where unavailable.
+
+    ``resource.getrusage`` reports the high-water mark in KiB on Linux (bytes
+    on macOS); the value only ever grows, so memory benchmarks that need a
+    *per-phase* peak must run each phase in its own subprocess (see
+    ``bench_csr_pipeline``).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss is bytes there
+        return peak / (1024 * 1024)
+    return peak / 1024
+
+
 def report_json(
     experiment_id: str,
     *,
@@ -178,6 +196,8 @@ def report_json(
     n: int,
     trials: int,
     scaled_down: bool = False,
+    materialize_seconds: "Mapping[str, float] | None" = None,
+    simulate_seconds: "Mapping[str, float] | None" = None,
     **extra: Any,
 ) -> Path | None:
     """Persist machine-readable perf results as ``BENCH_<experiment_id>.json``.
@@ -186,8 +206,15 @@ def report_json(
     one of these next to its human-readable table, so the speedup trajectory
     can be tracked across revisions by diffing small JSON files instead of
     scraping text reports.  The payload records the workload size, wall-clock
-    timings per runner, the headline speedup, the git revision the numbers
-    were produced at, and any benchmark-specific extras.
+    timings per runner, the headline speedup, the benchmark process's peak
+    RSS, the git revision the numbers were produced at, and any
+    benchmark-specific extras.
+
+    ``materialize_seconds`` / ``simulate_seconds`` split each runner's
+    wall-clock into graph-construction and simulation time, so a record shows
+    *where* a speedup lives.  Records may also carry a ``floors`` mapping
+    (metric name → minimum value) that ``check_regression.py`` enforces
+    alongside the headline ``min_speedup``.
 
     ``scaled_down=True`` (a smoke run: the effective workload/floor values
     deviate from the full-size defaults) skips the write and returns ``None``
@@ -208,6 +235,17 @@ def report_json(
         "timings_seconds": {name: round(float(secs), 4) for name, secs in timings.items()},
         "speedup": round(float(speedup), 3),
     }
+    rss = peak_rss_mib()
+    if rss is not None:
+        payload["peak_rss_mib"] = round(rss, 1)
+    if materialize_seconds is not None:
+        payload["materialize_seconds"] = {
+            name: round(float(secs), 4) for name, secs in materialize_seconds.items()
+        }
+    if simulate_seconds is not None:
+        payload["simulate_seconds"] = {
+            name: round(float(secs), 4) for name, secs in simulate_seconds.items()
+        }
     payload.update(extra)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     return path

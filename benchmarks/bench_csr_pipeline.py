@@ -1,0 +1,203 @@
+"""E13 — the direct-CSR topology pipeline vs the networkx pipeline at large ``n``.
+
+The event-driven engine (E12) removed the per-event cost of large-``n``
+uniform algebraic gossip; what remained was the *materialisation* cost: the
+networkx pipeline builds a dict-of-dicts ``nx.Graph`` (hundreds of bytes per
+edge, plus ``n`` scalar decoders per trial) only to flatten it into the CSR
+arrays the engine actually walks.  The direct-CSR pipeline
+(:meth:`~repro.scenarios.ScenarioSpec.materialize_csr`) builds those arrays
+straight from the generator's edge stream — byte-identical ``(indptr,
+indices)`` per seed, by the tested builder contract — and feeds the engine a
+decoder-less rank-only process.
+
+This benchmark runs the registry's large-``n`` workload — uniform AG over
+``GF(2)`` on connected ``G(n, 2·log n/n)``, asynchronous EXCHANGE, ``k = 8``,
+gf2bit backend, event engine — through **both pipelines in separate
+subprocesses** (``ru_maxrss`` is a process-lifetime high-water mark, so a
+per-pipeline peak needs a per-pipeline process) and asserts:
+
+* both pipelines are **bit-identical** — the per-trial result signatures
+  (stopping times, message/helpful counts, completion rounds, metadata)
+  hash identically;
+* the direct pipeline materialises at least ``5×`` faster and the run's
+  peak RSS is at least ``2×`` smaller (the committed ``BENCH_E13`` record is
+  gated on both by ``check_regression.py``).
+
+Scale knobs (for smoke runs): ``REPRO_BENCH_CSR_N``,
+``REPRO_BENCH_CSR_TRIALS``, ``REPRO_BENCH_CSR_MIN_SPEEDUP`` and
+``REPRO_BENCH_CSR_MIN_RSS_REDUCTION`` shrink the workload / floors without
+changing the equivalence check.  (At small ``n`` the RSS ratio tends to 1 —
+the interpreter baseline dominates — so smoke lanes lower the RSS floor.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from _utils import PEDANTIC, report, report_json
+
+N = int(os.environ.get("REPRO_BENCH_CSR_N", "100000"))
+TRIALS = int(os.environ.get("REPRO_BENCH_CSR_TRIALS", "2"))
+SEED = 1311
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_CSR_MIN_SPEEDUP", "5.0"))
+MIN_RSS_REDUCTION = float(
+    os.environ.get("REPRO_BENCH_CSR_MIN_RSS_REDUCTION", "2.0")
+)
+SCALED_DOWN = (N, TRIALS, MIN_SPEEDUP, MIN_RSS_REDUCTION) != (100000, 2, 5.0, 2.0)
+
+_REPO = Path(__file__).resolve().parent.parent
+
+
+def _child(pipeline: str, n: int, trials: int, seed: int) -> None:
+    """Run one pipeline's materialise + simulate phases; print a JSON record."""
+    from _utils import peak_rss_mib, trial_signature
+    from repro.scenarios import get_scenario
+
+    spec = get_scenario("event/er-logn").replace(n=n, trials=trials, seed=seed)
+    start = time.perf_counter()
+    scenario = spec.materialize_csr() if pipeline == "csr" else spec.materialize()
+    materialize_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    results = scenario.measure(batch=False)
+    simulate_seconds = time.perf_counter() - start
+    signature = hashlib.sha256(
+        repr(trial_signature(results)).encode("utf-8")
+    ).hexdigest()
+    print(
+        json.dumps(
+            {
+                "pipeline": scenario.pipeline,
+                "n": scenario.n,
+                "materialize_seconds": materialize_seconds,
+                "simulate_seconds": simulate_seconds,
+                "peak_rss_mib": peak_rss_mib(),
+                "signature": signature,
+                "mean_rounds": sum(r.rounds for r in results) / len(results),
+            }
+        )
+    )
+
+
+def _run_pipeline(pipeline: str) -> dict:
+    env = dict(os.environ)
+    src = str(_REPO / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            "--child",
+            pipeline,
+            str(N),
+            str(TRIALS),
+            str(SEED),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=_REPO,
+        env=env,
+    )
+    if proc.returncode != 0:
+        raise AssertionError(
+            f"{pipeline} pipeline child failed "
+            f"(exit {proc.returncode}):\n{proc.stderr[-2000:]}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _run():
+    measured = {pipeline: _run_pipeline(pipeline) for pipeline in ("networkx", "csr")}
+    nx_rec, csr_rec = measured["networkx"], measured["csr"]
+    assert nx_rec["signature"] == csr_rec["signature"], (
+        "the CSR pipeline diverged from the networkx pipeline at "
+        f"n={N}: per-trial result signatures differ"
+    )
+    speedup = nx_rec["materialize_seconds"] / csr_rec["materialize_seconds"]
+    rss_reduction = nx_rec["peak_rss_mib"] / csr_rec["peak_rss_mib"]
+    rows = [
+        {
+            "pipeline": record["pipeline"],
+            "materialize s": round(record["materialize_seconds"], 3),
+            "simulate s": round(record["simulate_seconds"], 3),
+            "peak RSS MiB": round(record["peak_rss_mib"], 1),
+            "mean_rounds": round(record["mean_rounds"], 1),
+        }
+        for record in (nx_rec, csr_rec)
+    ]
+    return rows, measured, speedup, rss_reduction
+
+
+def test_csr_pipeline_crossover(benchmark):
+    rows, measured, speedup, rss_reduction = benchmark.pedantic(_run, **PEDANTIC)
+    nx_rec, csr_rec = measured["networkx"], measured["csr"]
+    report(
+        "E13-csr-pipeline",
+        f"Direct-CSR vs networkx topology pipeline — uniform AG over GF(2) on "
+        f"G(n, 2·log n/n), n={N}, k=8, asynchronous EXCHANGE, gf2bit backend, "
+        f"event engine, {TRIALS} trials (one subprocess per pipeline)",
+        rows,
+        notes=[
+            "Both pipelines are bit-identical (asserted): the per-trial "
+            "result signatures hash identically, so either pipeline serves "
+            "the same result-store records.",
+            f"The direct pipeline must materialise ≥{MIN_SPEEDUP:.1f}x faster "
+            f"(measured {speedup:.1f}x) and peak at ≤1/{MIN_RSS_REDUCTION:.1f} "
+            f"of the RSS (measured 1/{rss_reduction:.1f}).",
+        ],
+    )
+    report_json(
+        "E13-csr-pipeline",
+        timings={
+            "networkx": nx_rec["materialize_seconds"] + nx_rec["simulate_seconds"],
+            "csr": csr_rec["materialize_seconds"] + csr_rec["simulate_seconds"],
+        },
+        speedup=speedup,
+        n=N,
+        trials=TRIALS,
+        scaled_down=SCALED_DOWN,
+        materialize_seconds={
+            "networkx": nx_rec["materialize_seconds"],
+            "csr": csr_rec["materialize_seconds"],
+        },
+        simulate_seconds={
+            "networkx": nx_rec["simulate_seconds"],
+            "csr": csr_rec["simulate_seconds"],
+        },
+        peak_rss_mib_per_pipeline={
+            "networkx": round(nx_rec["peak_rss_mib"], 1),
+            "csr": round(csr_rec["peak_rss_mib"], 1),
+        },
+        rss_reduction=round(rss_reduction, 3),
+        floors={"rss_reduction": MIN_RSS_REDUCTION},
+        k=8,
+        seed=SEED,
+        min_speedup=MIN_SPEEDUP,
+        protocol="uniform-ag",
+        topology="erdos_renyi_logn",
+        field_size=2,
+        backend="gf2bit",
+        engine="event",
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"CSR materialize speedup {speedup:.2f}x at n={N} is below the "
+        f"{MIN_SPEEDUP:.1f}x floor"
+    )
+    assert rss_reduction >= MIN_RSS_REDUCTION, (
+        f"CSR peak-RSS reduction {rss_reduction:.2f}x at n={N} is below the "
+        f"{MIN_RSS_REDUCTION:.1f}x floor"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 6 and sys.argv[1] == "--child":
+        _child(sys.argv[2], int(sys.argv[3]), int(sys.argv[4]), int(sys.argv[5]))
+    else:  # pragma: no cover - convenience entry point
+        sys.exit("usage: bench_csr_pipeline.py --child {networkx|csr} N TRIALS SEED")

@@ -105,6 +105,15 @@ def main() -> int:
             record = json.loads(path.read_text(encoding="utf-8"))
             speedup = float(record["speedup"])
             floor = float(record.get("min_speedup", DEFAULT_FLOOR))
+            # Optional per-metric floors: {"metric": min_value, ...} checked
+            # against the record's own top-level fields.
+            extra_floors = {
+                str(metric): float(minimum)
+                for metric, minimum in dict(record.get("floors", {})).items()
+            }
+            extra_values = {
+                metric: float(record[metric]) for metric in extra_floors
+            }
         except Exception as error:  # noqa: BLE001
             print(f"{path.name}: unreadable record ({type(error).__name__}: {error}) FAIL")
             failures += 1
@@ -117,6 +126,14 @@ def main() -> int:
             f"rev={str(record.get('git_rev'))[:12]}) {status}"
         )
         failures += not ok
+        for metric, minimum in sorted(extra_floors.items()):
+            value = extra_values[metric]
+            metric_ok = value >= minimum
+            print(
+                f"{path.name}: {metric} {value:.2f} (floor {minimum:.1f}) "
+                f"{'ok' if metric_ok else 'REGRESSION'}"
+            )
+            failures += not metric_ok
     if failures:
         print(f"error: {failures} perf record(s) below their floor", file=sys.stderr)
         return 1

@@ -1,0 +1,281 @@
+"""Optional numba-jitted hot loop for the event-driven engine.
+
+The event engine's asynchronous inner path — clock draw, partner draw,
+encode, eliminate — is a few microseconds of python per timeslot even with
+the gf2bit packed rows.  At ``n = 10^6`` a run is ``Θ(n log n)`` timeslots,
+so those microseconds are hours.  This module compiles that exact inner path
+with `numba <https://numba.pydata.org>`_ when it is importable, operating
+directly on the :class:`~repro.backends.gf2bit.PackedGf2Eliminator` word
+arrays.
+
+Bit-identical by contract, like the backend seam:
+
+* numba's ``np.random.Generator`` support draws from the **same bit-generator
+  stream** as numpy, and every draw below is issued in the scalar engine's
+  exact order: wakeup ``integers(0, n)``, partner ``integers(0, degree)``,
+  one ``integers(0, 2)`` per stored pivot in ascending column order (exactly
+  the ``rng.integers(0, 2, size=rank, dtype=int64)`` batch
+  :meth:`~repro.gf.field.GaloisField.random_elements` issues — numpy fills
+  bounded-integer batches element-wise from the same masked 64-bit
+  rejection), then the loss ``random()`` per surviving delivery;
+* elimination works in word space with the same ascending-column sweeps as
+  :meth:`~repro.backends.gf2bit.PackedGf2Eliminator.eliminate_one`, so the
+  stored RREF state after every event is byte-identical.
+
+``tests/test_event_kernel.py`` asserts the parity per seed when numba is
+installed; when it is not (the baked container image does not ship it),
+:func:`async_event_kernel` returns ``None`` and the engine runs the pure
+python loop — no behaviour change, only wall-clock.  ``REPRO_EVENT_KERNEL=0``
+(or ``off``/``false``) disables the kernel explicitly, e.g. to benchmark the
+fallback.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable
+
+import numpy as np
+
+from ..core.config import TimeModel
+
+__all__ = ["numba_available", "async_event_kernel"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+except ImportError:  # pragma: no cover
+    numba = None
+
+#: Lazily compiled kernel (one compilation per process).
+_KERNEL: Callable | None = None
+
+# Offsets into the kernel's int64 state vector (in/out).
+_TIMESLOT, _FINISHED, _MESSAGES, _HELPFUL, _DROPPED, _ROUND, _COMPLETIONS = range(7)
+
+
+def numba_available() -> bool:
+    """Is the jitted event kernel usable in this process?
+
+    Requires numba to be importable and the ``REPRO_EVENT_KERNEL``
+    environment switch not to disable it.
+    """
+    if numba is None:
+        return False
+    return os.environ.get("REPRO_EVENT_KERNEL", "").lower() not in (
+        "0",
+        "off",
+        "false",
+    )
+
+
+def _compile_kernel() -> Callable:
+    """Compile (once per process) the asynchronous event loop."""
+    global _KERNEL
+    if _KERNEL is not None:
+        return _KERNEL
+
+    @numba.njit(cache=False)
+    def _async_loop(  # pragma: no cover - runs only where numba is installed
+        rng,
+        rows,  # (n, k, words) uint64 — eliminator storage, keyed by pivot col
+        pivot_mask,  # (n, k) bool
+        ranks,  # (n,) int64
+        noted,  # (n,) bool
+        indptr,  # (n+1,) int64
+        indices,  # (m,) int64
+        state,  # (7,) int64 in/out: see offsets above
+        completion_pos,  # (n,) int64 out: positions in completion order
+        completion_round,  # (n,) int64 out: matching rounds
+        n,
+        k,
+        words,
+        max_timeslots,
+        loss_probability,
+        do_push,
+        do_pull,
+    ):
+        timeslot = state[_TIMESLOT]
+        finished = state[_FINISHED]
+        messages_sent = state[_MESSAGES]
+        helpful_messages = state[_HELPFUL]
+        dropped = state[_DROPPED]
+        round_index = state[_ROUND]
+        completions = state[_COMPLETIONS]
+        row_push = np.zeros(words, dtype=np.uint64)
+        row_pull = np.zeros(words, dtype=np.uint64)
+        reduced = np.zeros(words, dtype=np.uint64)
+        while finished < n:
+            if timeslot >= max_timeslots:
+                break
+            round_now = timeslot // n + 1
+            pos = rng.integers(0, n)
+            timeslot += 1
+            round_index = round_now
+            start = indptr[pos]
+            degree = indptr[pos + 1] - start
+            partner = indices[start + rng.integers(0, degree)]
+            # Both packets are built before either is delivered, and the
+            # coefficient draws pair with the stored pivots in ascending
+            # column order — exactly combine_one's contract.
+            has_push = False
+            if do_push and ranks[pos] > 0:
+                has_push = True
+                for w in range(words):
+                    row_push[w] = np.uint64(0)
+                for col in range(k):
+                    if pivot_mask[pos, col]:
+                        if rng.integers(0, 2) != 0:
+                            for w in range(words):
+                                row_push[w] ^= rows[pos, col, w]
+            has_pull = False
+            if do_pull and ranks[partner] > 0:
+                has_pull = True
+                for w in range(words):
+                    row_pull[w] = np.uint64(0)
+                for col in range(k):
+                    if pivot_mask[partner, col]:
+                        if rng.integers(0, 2) != 0:
+                            for w in range(words):
+                                row_pull[w] ^= rows[partner, col, w]
+            for leg in range(2):
+                if leg == 0:
+                    if not has_push:
+                        continue
+                    sender = pos
+                    receiver = partner
+                    payload = row_push
+                else:
+                    if not has_pull:
+                        continue
+                    sender = partner
+                    receiver = pos
+                    payload = row_pull
+                messages_sent += 1
+                if loss_probability > 0.0 and rng.random() < loss_probability:
+                    dropped += 1
+                    continue
+                # eliminate_one in word space: one ascending-column sweep.  A
+                # stored RREF row's lowest set bit is its pivot column, so
+                # XOR-ing it in clears exactly that bit and only flips higher
+                # ones; the first set bit with no stored pivot is the new
+                # pivot, and the sweep continues past it untouched.
+                for w in range(words):
+                    reduced[w] = payload[w]
+                new_pivot = -1
+                for col in range(k):
+                    if (reduced[col >> 6] >> np.uint64(col & 63)) & np.uint64(1):
+                        if pivot_mask[receiver, col]:
+                            for w in range(words):
+                                reduced[w] ^= rows[receiver, col, w]
+                        elif new_pivot < 0:
+                            new_pivot = col
+                if new_pivot < 0:
+                    continue
+                # Back-substitute into every stored row holding the new
+                # pivot bit, then store the reduced row keyed by its pivot.
+                pivot_word = new_pivot >> 6
+                pivot_bit = np.uint64(new_pivot & 63)
+                for col in range(k):
+                    if pivot_mask[receiver, col] and (
+                        (rows[receiver, col, pivot_word] >> pivot_bit)
+                        & np.uint64(1)
+                    ):
+                        for w in range(words):
+                            rows[receiver, col, w] ^= reduced[w]
+                for w in range(words):
+                    rows[receiver, new_pivot, w] = reduced[w]
+                pivot_mask[receiver, new_pivot] = True
+                ranks[receiver] += 1
+                helpful_messages += 1
+                if ranks[receiver] == k and not noted[receiver]:
+                    noted[receiver] = True
+                    completion_pos[completions] = receiver
+                    completion_round[completions] = round_now
+                    completions += 1
+                    finished += 1
+        state[_TIMESLOT] = timeslot
+        state[_FINISHED] = finished
+        state[_MESSAGES] = messages_sent
+        state[_HELPFUL] = helpful_messages
+        state[_DROPPED] = dropped
+        state[_ROUND] = round_index
+        state[_COMPLETIONS] = completions
+
+    _KERNEL = _async_loop
+    return _KERNEL
+
+
+def async_event_kernel(engine: Any) -> Callable[[], int] | None:
+    """A zero-argument replacement for the engine's asynchronous loop, or ``None``.
+
+    ``None`` means "run the pure python loop": numba is unavailable (or
+    disabled), or the workload uses a knob the kernel does not replay —
+    churn / heterogeneous rates (the :class:`~repro.gossip.dynamics
+    .NodeDynamics` fast path is the only clock the kernel implements) or a
+    non-gf2bit eliminator.  The returned callable mutates the engine exactly
+    as :meth:`~repro.gossip.event.EventGossipEngine._run_asynchronous` would
+    and returns the final round index.
+    """
+    if not numba_available():
+        return None
+    if engine.config.time_model is not TimeModel.ASYNCHRONOUS:
+        return None
+    if engine._dynamics.active:
+        return None
+    from .gf2bit import PackedGf2Eliminator
+
+    eliminator = engine._eliminator
+    if not isinstance(eliminator, PackedGf2Eliminator):
+        return None
+    if eliminator.pivot_limit != engine._k:
+        return None
+
+    def run() -> int:
+        from ..core.config import GossipAction
+
+        kernel = _compile_kernel()
+        n = engine._n
+        state = np.zeros(7, dtype=np.int64)
+        state[_TIMESLOT] = engine._timeslot
+        state[_FINISHED] = engine._finished
+        state[_MESSAGES] = engine._messages_sent
+        state[_HELPFUL] = engine._helpful_messages
+        state[_DROPPED] = engine._dropped_messages
+        completion_pos = np.zeros(n, dtype=np.int64)
+        completion_round = np.zeros(n, dtype=np.int64)
+        action = engine.process.action
+        kernel(
+            engine.rng,
+            eliminator.rows,
+            eliminator.pivot_mask,
+            eliminator.ranks,
+            engine._noted,
+            engine._indptr,
+            engine._indices,
+            state,
+            completion_pos,
+            completion_round,
+            n,
+            engine._k,
+            eliminator.words,
+            engine.config.max_rounds * n,
+            float(engine._loss_probability),
+            action in (GossipAction.PUSH, GossipAction.EXCHANGE),
+            action in (GossipAction.PULL, GossipAction.EXCHANGE),
+        )
+        # The kernel mutated the packed arrays directly; the lazy python-int
+        # pivot cache must be rebuilt on next use.
+        eliminator._pivot_bits = None
+        engine._timeslot = int(state[_TIMESLOT])
+        engine._finished = int(state[_FINISHED])
+        engine._messages_sent = int(state[_MESSAGES])
+        engine._helpful_messages = int(state[_HELPFUL])
+        engine._dropped_messages = int(state[_DROPPED])
+        # Replay completions in event order so the dict's insertion order
+        # matches the python loop's exactly.
+        for i in range(int(state[_COMPLETIONS])):
+            pos = int(completion_pos[i])
+            engine._completion_rounds[engine._nodes[pos]] = int(completion_round[i])
+        return int(state[_ROUND])
+
+    return run

@@ -261,11 +261,21 @@ def _measure_trial_indices(
 
     rngs = [derive_rng(seed, f"trial-{index}") for index in trial_indices]
     if engine == "event":
-        from ..gossip.event import run_event_trials
+        from ..gossip.event import build_event_process, run_event_trials
 
         with use_backend(backend):
-            processes = [protocol_factory(graph, rng) for rng in rngs]
+            processes = [
+                build_event_process(graph, protocol_factory, rng) for rng in rngs
+            ]
             return run_event_trials(graph, processes, config, rngs)
+    from ..graphs.csr import CSRGraph
+
+    if isinstance(graph, CSRGraph):
+        raise EngineError(
+            "a CSR-materialised scenario runs on the event-driven engine "
+            "only; pin engine='event' (or materialise through the networkx "
+            "pipeline for the scalar/batch engines)"
+        )
     if engine == "scalar":
         batch = False
     require_batch = engine == "batch"

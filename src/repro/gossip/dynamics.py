@@ -47,19 +47,26 @@ class NodeDynamics:
     def __init__(self, config: SimulationConfig, nodes: list[int]) -> None:
         self._nodes = nodes
         self._n = len(nodes)
-        pos = {node: index for index, node in enumerate(nodes)}
-        self._down_at: list[list[tuple[int, int]]] = [[] for _ in range(self._n)]
         self._crash_rounds: dict[int, list[int]] = {}
-        for node, down_round, up_round in config.churn:
-            if node not in pos:
-                raise SimulationError(
-                    f"churn schedule references unknown node {node}"
-                )
-            position = pos[node]
-            self._down_at[position].append((down_round, up_round))
-            self._crash_rounds.setdefault(down_round, []).append(position)
-        for crashes in self._crash_rounds.values():
-            crashes.sort()
+        if config.churn:
+            # The position dict and per-position interval lists are O(n); they
+            # exist only when a churn schedule actually references them.
+            pos = {node: index for index, node in enumerate(nodes)}
+            self._down_at: list[list[tuple[int, int]]] = [
+                [] for _ in range(self._n)
+            ]
+            for node, down_round, up_round in config.churn:
+                if node not in pos:
+                    raise SimulationError(
+                        f"churn schedule references unknown node {node}"
+                    )
+                position = pos[node]
+                self._down_at[position].append((down_round, up_round))
+                self._crash_rounds.setdefault(down_round, []).append(position)
+            for crashes in self._crash_rounds.values():
+                crashes.sort()
+        else:
+            self._down_at = []
         self.has_churn = bool(config.churn)
         self.reset_on_crash = config.churn_reset
         # Churn is typically a few bounded windows in a long run: outside
@@ -82,18 +89,23 @@ class NodeDynamics:
                 f"activation_rates has {self.rates.size} entries but the "
                 f"graph has {self._n} nodes"
             )
+        #: ``True`` when either knob is active (set before the hot-path
+        #: constants below, which only the active paths ever read).
+        active = self.has_churn or self.has_rates
         # Hot-path constants for the everyone-alive case of choose_wakeup.
-        self._all_positions = np.arange(self._n)
+        self._all_positions = np.arange(self._n) if active else None
         self._cum_rates = np.cumsum(self.rates) if self.has_rates else None
         #: ``True`` when either knob is active (the engines skip all dynamic
         #: bookkeeping otherwise, preserving the historical fast path).
-        self.active = self.has_churn or self.has_rates
+        self.active = active
 
     # ------------------------------------------------------------------
     # Churn queries
     # ------------------------------------------------------------------
     def is_down(self, position: int, round_index: int) -> bool:
         """Is the node at ``position`` down during ``round_index``?"""
+        if not self.has_churn:
+            return False
         return any(
             down <= round_index < up for down, up in self._down_at[position]
         )

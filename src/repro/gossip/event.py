@@ -65,6 +65,7 @@ import numpy as np
 from ..core.config import GossipAction, SimulationConfig, TimeModel
 from ..core.results import RunResult
 from ..errors import EngineError, SimulationError
+from ..graphs.csr import CSRGraph
 from ..graphs.topologies import csr_adjacency
 from .dynamics import NodeDynamics
 from .engine import GossipProcess
@@ -72,9 +73,33 @@ from .engine import GossipProcess
 __all__ = [
     "EventGossipEngine",
     "run_event_trials",
+    "build_event_process",
     "event_supports_process",
     "event_supports_config",
 ]
+
+
+def build_event_process(graph, protocol_factory, rng) -> GossipProcess:
+    """Build one trial's process for the event engine, honouring the graph type.
+
+    For a networkx graph this is exactly ``protocol_factory(graph, rng)`` —
+    the full process with scalar decoders, as the event runners always built.
+    For a graph-free :class:`~repro.graphs.csr.CSRGraph` the factory must
+    provide a ``rank_only_process`` method (``UniformGossipFactory`` does)
+    building a decoder-less process from the *same* ``rng`` stream position;
+    factories without one (TAG, spanning trees) raise a typed
+    :class:`~repro.errors.EngineError`, never a silent fallback.
+    """
+    if isinstance(graph, CSRGraph):
+        rank_only = getattr(protocol_factory, "rank_only_process", None)
+        if rank_only is None:
+            raise EngineError(
+                f"{type(protocol_factory).__name__} cannot run on a CSRGraph: "
+                "the graph-free pipeline supports rank-only uniform algebraic "
+                "gossip only; materialise through the networkx path instead"
+            )
+        return rank_only(graph, rng)
+    return protocol_factory(graph, rng)
 
 
 def event_supports_process(process: GossipProcess) -> bool:
@@ -129,7 +154,12 @@ class EventGossipEngine:
     ) -> None:
         if graph.number_of_nodes() < 2:
             raise SimulationError("gossip requires at least two nodes")
-        if not nx.is_connected(graph):
+        connected = (
+            graph.is_connected()
+            if isinstance(graph, CSRGraph)
+            else nx.is_connected(graph)
+        )
+        if not connected:
             raise SimulationError("gossip requires a connected graph")
         if not event_supports_process(process):
             raise EngineError(
@@ -144,7 +174,12 @@ class EventGossipEngine:
         self.process = process
         self.config = config
         self.rng = rng
-        self._nodes = sorted(graph.nodes())
+        # A CSRGraph's nodes are exactly 0..n-1, so its node view (a range)
+        # serves directly — position == node id and no O(n) list is built.
+        if isinstance(graph, CSRGraph):
+            self._nodes = graph.nodes()
+        else:
+            self._nodes = sorted(graph.nodes())
         self._n = len(self._nodes)
         self._indptr, self._indices = csr_adjacency(graph)
         self._field = process.generation.field
@@ -177,13 +212,25 @@ class EventGossipEngine:
     # ------------------------------------------------------------------
     def _seed_from_process(self) -> None:
         """Absorb every node's initial knowledge, grouped into depth waves."""
-        pos = {node: index for index, node in enumerate(self._nodes)}
+        initial = getattr(self.process, "initial_coefficient_rows", None)
+        if initial is not None:
+            # Decoder-less processes (RankOnlyUniformGossip) report their
+            # initial RREF rows directly; nothing per-node is built.
+            node_rows = initial()
+        else:
+            node_rows = {
+                node: decoder.coefficient_matrix()
+                for node, decoder in self.process.decoders.items()
+            }
+        if isinstance(self._nodes, range):
+            pos = None  # position == node id on the CSR pipeline
+        else:
+            pos = {node: index for index, node in enumerate(self._nodes)}
         initial_rows: dict[int, np.ndarray] = {}
         max_depth = 0
-        for node, decoder in self.process.decoders.items():
-            matrix = decoder.coefficient_matrix()
+        for node, matrix in node_rows.items():
             if matrix.shape[0]:
-                initial_rows[pos[node]] = matrix
+                initial_rows[node if pos is None else pos[node]] = matrix
                 max_depth = max(max_depth, matrix.shape[0])
         for depth in range(max_depth):
             indices = [
@@ -232,6 +279,11 @@ class EventGossipEngine:
     # Time models
     # ------------------------------------------------------------------
     def _run_asynchronous(self) -> int:
+        from ..backends.accel import async_event_kernel
+
+        kernel = async_event_kernel(self)
+        if kernel is not None:
+            return kernel()
         round_index = 0
         max_timeslots = self.config.max_rounds * self._n
         dynamics = self._dynamics

@@ -20,12 +20,14 @@ from __future__ import annotations
 
 import math
 import weakref
+from collections import OrderedDict
 from typing import Callable, TypeVar
 
 import networkx as nx
 import numpy as np
 
 from ..errors import TopologyError
+from .csr import CSRGraph
 
 #: Non-builder exports; every ``@register_topology``-decorated builder is
 #: appended automatically, so ``__all__`` and :data:`TOPOLOGY_BUILDERS` can
@@ -35,6 +37,7 @@ __all__ = [
     "TOPOLOGY_BUILDERS",
     "register_topology",
     "build_topology",
+    "topology_cache_key",
     "neighbor_lists",
     "csr_adjacency",
 ]
@@ -72,35 +75,81 @@ def register_topology(name: str) -> Callable[[_Builder], _Builder]:
     return decorate
 
 
-# Memoized adjacency, keyed per graph *instance*.  Trial runners reuse one
-# graph object across every trial of a sweep, so the sorted neighbour lists
-# (and the CSR form the event-driven engine walks) are built once per graph
-# instead of once per trial.  WeakKeyDictionary keeps the cache from pinning
-# graphs alive; the (nodes, edges) key guards against in-place mutation.
+# Memoized adjacency.  Trial runners reuse one graph object across every
+# trial of a sweep, so the sorted neighbour lists (and the CSR form the
+# event-driven engine walks) are built once per graph instead of once per
+# trial.  Two cache tiers serve this:
+#
+# * a *keyed* LRU, indexed by the (name, n, kwargs) fingerprint
+#   :func:`build_topology` stamps on every graph it returns.  Because the key
+#   is value-like, the graph-free CSR pipeline (`build_csr_topology`) and the
+#   networkx pipeline share entries — whichever materialises first, the other
+#   reuses its arrays.  The capacity bound keeps large-n arrays from pinning
+#   memory across sweeps over many topologies.
+# * the per-instance WeakKeyDictionary fallback for unstamped graphs (built
+#   directly, not through `build_topology`).  The (nodes, edges) shape guard
+#   protects both tiers against in-place mutation.
+_KEYED_CACHE_CAPACITY = 8
+_KEYED_CSR: "OrderedDict[tuple, tuple]" = OrderedDict()
+_KEYED_NEIGHBORS: "OrderedDict[tuple, tuple]" = OrderedDict()
 _NEIGHBOR_CACHE: "weakref.WeakKeyDictionary[nx.Graph, tuple]" = (
     weakref.WeakKeyDictionary()
 )
 _CSR_CACHE: "weakref.WeakKeyDictionary[nx.Graph, tuple]" = weakref.WeakKeyDictionary()
 
 
+def topology_cache_key(name: str, n: int, kwargs: dict) -> tuple:
+    """Value-identity of one ``build_topology``/``build_csr_topology`` call.
+
+    Hashable and deterministic: ``(name, n, sorted kwarg items)``.  Equal keys
+    mean "the same graph down to the last edge" (builders are seed-derived
+    deterministic functions of exactly these arguments), which is what lets
+    the adjacency caches serve both materialization pipelines.
+    """
+    return (name, int(n), tuple(sorted(kwargs.items())))
+
+
+def _keyed_cache_get(cache: "OrderedDict[tuple, tuple]", key: tuple):
+    entry = cache.get(key)
+    if entry is not None:
+        cache.move_to_end(key)
+    return entry
+
+
+def _keyed_cache_put(cache: "OrderedDict[tuple, tuple]", key: tuple, entry: tuple) -> None:
+    cache[key] = entry
+    cache.move_to_end(key)
+    while len(cache) > _KEYED_CACHE_CAPACITY:
+        cache.popitem(last=False)
+
+
 def neighbor_lists(graph: nx.Graph) -> dict[int, tuple[int, ...]]:
-    """Sorted neighbour tuple per node, memoized per graph instance.
+    """Sorted neighbour tuple per node, memoized.
 
     This is the neighbour ordering every partner selector draws against
     (``tuple(sorted(graph.neighbors(node)))``), so consumers share one
     construction per graph rather than rebuilding adjacency per trial.
-    Callers must treat the returned mapping as immutable.
+    Graphs stamped by :func:`build_topology` share entries by value key;
+    unstamped instances fall back to the per-instance cache.  Callers must
+    treat the returned mapping as immutable.
     """
     shape = (graph.number_of_nodes(), graph.number_of_edges())
+    key = graph.graph.get("topology_cache_key")
+    if key is not None:
+        entry = _keyed_cache_get(_KEYED_NEIGHBORS, key)
+        if entry is not None and entry[0] == shape:
+            return entry[1]
     cached = _NEIGHBOR_CACHE.get(graph)
     if cached is not None and cached[0] == shape:
         return cached[1]
     lists = {node: tuple(sorted(graph.neighbors(node))) for node in graph.nodes()}
     _NEIGHBOR_CACHE[graph] = (shape, lists)
+    if key is not None:
+        _keyed_cache_put(_KEYED_NEIGHBORS, key, (shape, lists))
     return lists
 
 
-def csr_adjacency(graph: nx.Graph) -> tuple[np.ndarray, np.ndarray]:
+def csr_adjacency(graph) -> tuple[np.ndarray, np.ndarray]:
     """Compressed-sparse-row adjacency in node-*position* space, memoized.
 
     Returns ``(indptr, indices)``: the neighbours of the node at position
@@ -108,8 +157,19 @@ def csr_adjacency(graph: nx.Graph) -> tuple[np.ndarray, np.ndarray]:
     (themselves positions, in ascending node order — the same ordering
     :func:`neighbor_lists` exposes).  Both arrays are read-only; this is the
     O(E) structure the event-driven engine walks instead of an n×n matrix.
+
+    A :class:`~repro.graphs.csr.CSRGraph` *is* this structure already and is
+    returned as-is; stamped networkx graphs share entries with the graph-free
+    pipeline through the keyed cache.
     """
+    if isinstance(graph, CSRGraph):
+        return graph.indptr, graph.indices
     shape = (graph.number_of_nodes(), graph.number_of_edges())
+    key = graph.graph.get("topology_cache_key")
+    if key is not None:
+        entry = _keyed_cache_get(_KEYED_CSR, key)
+        if entry is not None and entry[0] == shape:
+            return entry[1]
     cached = _CSR_CACHE.get(graph)
     if cached is not None and cached[0] == shape:
         return cached[1]
@@ -128,6 +188,8 @@ def csr_adjacency(graph: nx.Graph) -> tuple[np.ndarray, np.ndarray]:
     indptr.setflags(write=False)
     indices.setflags(write=False)
     _CSR_CACHE[graph] = (shape, (indptr, indices))
+    if key is not None:
+        _keyed_cache_put(_KEYED_CSR, key, (shape, (indptr, indices)))
     return indptr, indices
 
 
@@ -527,4 +589,8 @@ def build_topology(name: str, n: int, **kwargs) -> nx.Graph:
         raise TopologyError(
             f"unknown topology {name!r}; known: {sorted(TOPOLOGY_BUILDERS)}"
         ) from None
-    return builder(n, **kwargs)
+    graph = builder(n, **kwargs)
+    # Stamp the value identity of this call so the adjacency caches can be
+    # shared across graph instances (and with the graph-free CSR pipeline).
+    graph.graph["topology_cache_key"] = topology_cache_key(name, n, kwargs)
+    return graph

@@ -29,7 +29,12 @@ from ..rlnc.encoder import RlncEncoder
 from ..rlnc.message import Generation
 from ..rlnc.packet import CodedPacket
 
-__all__ = ["AlgebraicGossip", "build_node_decoders", "reset_node_to_initial_knowledge"]
+__all__ = [
+    "AlgebraicGossip",
+    "RankOnlyUniformGossip",
+    "build_node_decoders",
+    "reset_node_to_initial_knowledge",
+]
 
 
 def build_node_decoders(
@@ -205,3 +210,112 @@ class AlgebraicGossip(GossipProcess):
             decoder.matches_generation(self.generation)
             for decoder in self.decoders.values()
         )
+
+
+class RankOnlyUniformGossip(GossipProcess):
+    """Uniform algebraic gossip without per-node decoders: the event engine's
+    graph-free process.
+
+    :class:`AlgebraicGossip` builds ``n`` scalar decoders/encoders up front —
+    exactly the O(n) object graph the event-driven engine then ignores in
+    favour of its batched rank-only eliminator.  At ``n = 10^6`` that setup is
+    the dominant cost, so the CSR materialization path builds this process
+    instead: it validates the same placement, stores the same
+    :class:`~repro.rlnc.message.Generation` (drawn from the *same* ``rng``
+    stream position, so per-seed results are bit-identical), and hands the
+    engine the initial coefficient rows directly through
+    :meth:`initial_coefficient_rows` — the unit rows a fresh
+    :class:`~repro.rlnc.decoder.RlncDecoder` would report after
+    ``add_source_message``.
+
+    Only the event-driven engine can run it: the scalar entry points
+    (``on_wakeup`` etc.) raise, because this process has no payload state to
+    gossip scalar packets from.
+    """
+
+    def __init__(
+        self,
+        graph: Any,
+        generation: Generation,
+        placement: Mapping[int, Sequence[int]],
+        config: SimulationConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        if generation.field.order != config.field_size:
+            raise SimulationError(
+                f"generation field GF({generation.field.order}) does not match "
+                f"config field_size {config.field_size}"
+            )
+        # Same placement validation as build_node_decoders, without building
+        # decoders (node membership is O(1) for both graph representations).
+        placed: set[int] = set()
+        for node, indices in placement.items():
+            if node not in graph:
+                raise SimulationError(f"placement references unknown node {node}")
+            placed.update(int(i) for i in indices)
+        missing = set(range(generation.k)) - placed
+        if missing:
+            raise SimulationError(
+                f"source messages {sorted(missing)} are not placed at any node"
+            )
+        self.graph = graph
+        self.generation = generation
+        self.config = config
+        self.action = config.action
+        self._placement = {n: tuple(int(i) for i in idx) for n, idx in placement.items()}
+        self._rng = rng
+
+    def initial_coefficient_rows(self) -> dict[int, np.ndarray]:
+        """Node → initial RREF coefficient rows (unit rows at placed indices).
+
+        Exactly what ``RlncDecoder.coefficient_matrix()`` reports right after
+        seeding: one unit row per *distinct* placed message index, pivots
+        ascending.  The event engine eliminates these verbatim, so its state
+        after seeding matches the decoder-built path bit for bit.
+        """
+        field = self.generation.field
+        k = self.generation.k
+        rows: dict[int, np.ndarray] = {}
+        for node, indices in self._placement.items():
+            distinct = sorted(set(indices))
+            if not distinct:
+                continue
+            matrix = field.zeros((len(distinct), k))
+            for row, message_index in enumerate(distinct):
+                matrix[row, message_index] = 1
+            rows[node] = matrix
+        return rows
+
+    def supports_rank_only_batch(self) -> bool:
+        """Rank-only by construction (this is all the state there is)."""
+        return True
+
+    def metadata(self) -> dict[str, Any]:
+        # Same shape as AlgebraicGossip.metadata(); min_rank is a placeholder
+        # the event engine overwrites with the true post-run minimum.
+        return {
+            "k": self.generation.k,
+            "protocol": "algebraic-gossip",
+            "action": self.action.value,
+            "min_rank": 0,
+            "selector": "UniformSelector",
+        }
+
+    # -- scalar-engine entry points: unsupported by design ----------------
+    def _refuse(self) -> SimulationError:
+        return SimulationError(
+            "RankOnlyUniformGossip has no per-node decoders; it runs on the "
+            "event-driven engine only"
+        )
+
+    def on_wakeup(self, node: int, rng: np.random.Generator) -> list[Transmission]:
+        raise self._refuse()
+
+    def on_deliver(self, receiver: int, sender: int, payload: Any) -> bool:
+        raise self._refuse()
+
+    def is_complete(self) -> bool:
+        raise self._refuse()
+
+    def finished_nodes(self) -> set[int]:
+        raise self._refuse()

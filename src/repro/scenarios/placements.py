@@ -26,6 +26,7 @@ import networkx as nx
 import numpy as np
 
 from ..errors import SimulationError
+from ..graphs.csr import CSRGraph, csr_bfs_distances
 
 __all__ = [
     "Placement",
@@ -41,12 +42,23 @@ __all__ = [
 Placement = dict[int, list[int]]
 
 
+def _ordered_nodes(graph) -> range | list[int]:
+    """Sorted node sequence without materialising a list for a CSRGraph.
+
+    A CSRGraph's nodes are exactly ``0..n-1``, so ``range(n)`` *is* the sorted
+    node sequence — placements built against either representation of the
+    same topology are therefore identical dicts.
+    """
+    if isinstance(graph, CSRGraph):
+        return range(graph.number_of_nodes())
+    return sorted(graph.nodes())
+
+
 def validate_placement(graph: nx.Graph, k: int, placement: Placement) -> None:
     """Check that every message index ``0..k-1`` is placed at an existing node."""
-    nodes = set(graph.nodes())
     seen: set[int] = set()
     for node, indices in placement.items():
-        if node not in nodes:
+        if node not in graph:
             raise SimulationError(f"placement references unknown node {node}")
         for index in indices:
             if not 0 <= int(index) < k:
@@ -59,13 +71,13 @@ def validate_placement(graph: nx.Graph, k: int, placement: Placement) -> None:
 
 def all_to_all_placement(graph: nx.Graph) -> Placement:
     """One message per node (``k = n``): the all-to-all communication special case."""
-    nodes = sorted(graph.nodes())
+    nodes = _ordered_nodes(graph)
     return {node: [index] for index, node in enumerate(nodes)}
 
 
 def spread_placement(graph: nx.Graph, k: int) -> Placement:
     """``k`` messages at ``k`` (approximately) evenly spaced distinct nodes."""
-    nodes = sorted(graph.nodes())
+    nodes = _ordered_nodes(graph)
     n = len(nodes)
     if not 1 <= k <= n:
         raise SimulationError(f"spread placement requires 1 <= k <= n, got k={k}, n={n}")
@@ -78,7 +90,7 @@ def spread_placement(graph: nx.Graph, k: int) -> Placement:
 
 def single_source_placement(graph: nx.Graph, k: int, source: int | None = None) -> Placement:
     """All ``k`` messages at one node (defaults to the lowest-numbered node)."""
-    nodes = sorted(graph.nodes())
+    nodes = _ordered_nodes(graph)
     if k < 1:
         raise SimulationError(f"k must be positive, got {k}")
     chosen = nodes[0] if source is None else source
@@ -89,7 +101,7 @@ def single_source_placement(graph: nx.Graph, k: int, source: int | None = None) 
 
 def random_placement(graph: nx.Graph, k: int, rng: np.random.Generator) -> Placement:
     """Each message at an independently uniform random node."""
-    nodes = sorted(graph.nodes())
+    nodes = _ordered_nodes(graph)
     if k < 1:
         raise SimulationError(f"k must be positive, got {k}")
     placement: Placement = {}
@@ -110,8 +122,16 @@ def adversarial_far_placement(graph: nx.Graph, k: int, target: int) -> Placement
         raise SimulationError(f"target node {target} is not in the graph")
     if k < 1:
         raise SimulationError(f"k must be positive, got {k}")
-    distances = nx.single_source_shortest_path_length(graph, target)
-    farthest = sorted(distances, key=lambda node: (-distances[node], node))
+    if isinstance(graph, CSRGraph):
+        # Same ordering as the networkx branch: distance descending, node id
+        # ascending within a distance class (the sort key below is total, so
+        # the stable lexsort and sorted() agree exactly; BFS reaches every
+        # node of the connected graph, matching dict_keys coverage).
+        hops = csr_bfs_distances(graph.indptr, graph.indices, target)
+        farthest = np.lexsort((np.arange(hops.size), -hops)).tolist()
+    else:
+        distances = nx.single_source_shortest_path_length(graph, target)
+        farthest = sorted(distances, key=lambda node: (-distances[node], node))
     placement: Placement = {}
     for index in range(k):
         node = farthest[index % len(farthest)]

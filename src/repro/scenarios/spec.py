@@ -60,10 +60,12 @@ from ..core.rng import derive_rng
 from ..errors import ConfigurationError
 from ..gf import GF
 from ..gossip.engine import GossipEngine, GossipProcess
+from ..graphs.csr import CSRGraph
+from ..graphs.csr_builders import build_csr_topology, has_csr_builder
 from ..graphs.properties import diameter as graph_diameter
 from ..graphs.properties import max_degree as graph_max_degree
 from ..graphs.topologies import TOPOLOGY_BUILDERS, build_topology
-from ..protocols.algebraic_gossip import AlgebraicGossip
+from ..protocols.algebraic_gossip import AlgebraicGossip, RankOnlyUniformGossip
 from ..protocols.is_protocol import ISSpanningTree
 from ..protocols.spanning_tree_protocols import (
     BfsOracleTree,
@@ -167,6 +169,21 @@ class UniformGossipFactory:
             GF(self.field_order), self.k, self.payload_length, rng
         )
         return AlgebraicGossip(graph, generation, self.placement, self.config, rng)
+
+    def rank_only_process(
+        self, graph: Any, rng: np.random.Generator
+    ) -> RankOnlyUniformGossip:
+        """Decoder-less process for the event engine's graph-free pipeline.
+
+        Draws the :class:`~repro.rlnc.message.Generation` from the exact
+        ``rng`` position ``__call__`` would, and construction consumes no
+        further draws on either path — so a trial built this way is
+        stream-identical (hence result-identical) to the decoder-built one.
+        """
+        generation = Generation.random(
+            GF(self.field_order), self.k, self.payload_length, rng
+        )
+        return RankOnlyUniformGossip(graph, generation, self.placement, self.config, rng)
 
 
 @dataclass
@@ -548,6 +565,49 @@ class ScenarioSpec:
         always yields the same workload.
         """
         graph = build_topology(self.topology, self.n, **dict(self.topology_params))
+        return self._materialize_from_graph(graph)
+
+    def materialize_csr(self) -> "MaterializedScenario":
+        """Materialise through the direct-CSR pipeline: no ``nx.Graph`` ever.
+
+        The graph is built straight to ``(indptr, indices)`` by the family's
+        direct-CSR builder — byte-identical per seed to
+        ``csr_adjacency(networkx_builder(...))``, the contract every builder
+        is tested against — and the protocol factory's decoder-less
+        ``rank_only_process`` feeds the event engine.  Per-seed results are
+        bit-identical to :meth:`materialize`; only peak memory and
+        materialisation time differ.
+
+        Only workloads the event engine can replay qualify: the spec must pin
+        ``engine="event"`` and ``protocol="uniform"``, and the topology family
+        must have a direct-CSR builder — anything else raises
+        :class:`~repro.errors.ConfigurationError` (use :meth:`materialize`).
+        """
+        if self.protocol != "uniform":
+            raise ConfigurationError(
+                f"materialize_csr runs uniform algebraic gossip only, got "
+                f"protocol {self.protocol!r}; use materialize() instead"
+            )
+        if self.engine != "event":
+            raise ConfigurationError(
+                "materialize_csr requires engine='event' (the CSR pipeline "
+                "feeds the event-driven engine only); use materialize() or "
+                "set engine='event' on the spec"
+            )
+        if not has_csr_builder(self.topology):
+            raise ConfigurationError(
+                f"topology {self.topology!r} has no direct-CSR builder; "
+                "use materialize() for the networkx pipeline"
+            )
+        graph = build_csr_topology(
+            self.topology, self.n, **dict(self.topology_params)
+        )
+        return self._materialize_from_graph(graph)
+
+    def _materialize_from_graph(
+        self, graph: "nx.Graph | CSRGraph"
+    ) -> "MaterializedScenario":
+        """Shared tail of both materialisation pipelines (k resolution on)."""
         actual_n = graph.number_of_nodes()
         if self.k is None:
             actual_k = actual_n
@@ -575,7 +635,7 @@ class ScenarioSpec:
             actual_k = self.k
         config = self._resolve_activation(graph)
         placement = self._resolve_placement(graph, actual_k)
-        root = sorted(graph.nodes())[0]
+        root = 0 if isinstance(graph, CSRGraph) else sorted(graph.nodes())[0]
         if self.protocol == "uniform":
             factory: Any = UniformGossipFactory(
                 field_order=config.field_size,
@@ -629,7 +689,9 @@ class ScenarioSpec:
         if name == "single_source":
             return single_source_placement(graph, k, **params)
         if name == "adversarial_far":
-            params.setdefault("target", sorted(graph.nodes())[0])
+            params.setdefault(
+                "target", 0 if isinstance(graph, CSRGraph) else sorted(graph.nodes())[0]
+            )
             return adversarial_far_placement(graph, k, **params)
         return random_placement(graph, k, derive_rng(self.seed, "placement"))
 
@@ -644,7 +706,7 @@ class ScenarioSpec:
                 "give either an activation recipe or explicit "
                 "config.activation_rates, not both"
             )
-        nodes = sorted(graph.nodes())
+        nodes = graph.nodes() if isinstance(graph, CSRGraph) else sorted(graph.nodes())
         n = len(nodes)
         if kind == "two_speed":
             ratio = float(params.pop("ratio", 4.0))
@@ -676,6 +738,12 @@ class ScenarioSpec:
         self, graph: nx.Graph, n: int, k: int, config: SimulationConfig
     ) -> dict[str, float]:
         """The analytic bounds attached to sweep points for this protocol."""
+        if isinstance(graph, CSRGraph):
+            raise ConfigurationError(
+                "analytic bounds need the networkx pipeline (graph diameter "
+                "and degree properties); use ScenarioSpec.materialize() "
+                "instead of materialize_csr() for sweeps with bounds"
+            )
         diameter_value = graph_diameter(graph)
         if self.protocol == "uniform":
             delta = graph_max_degree(graph)
@@ -718,7 +786,7 @@ class MaterializedScenario:
     """
 
     spec: ScenarioSpec
-    graph: nx.Graph
+    graph: "nx.Graph | CSRGraph"
     n: int
     k: int
     placement: Placement
@@ -730,6 +798,11 @@ class MaterializedScenario:
     def bounds(self) -> dict[str, float]:
         """The analytic bounds for this protocol (computed on first access)."""
         return self.spec._bounds(self.graph, self.n, self.k, self.config)
+
+    @property
+    def pipeline(self) -> str:
+        """Which topology pipeline served this scenario: ``csr`` or ``networkx``."""
+        return "csr" if isinstance(self.graph, CSRGraph) else "networkx"
 
     @property
     def label(self) -> str:
@@ -748,8 +821,16 @@ class MaterializedScenario:
         return f"{spec.spanning_tree} tree {spec.topology}(n={self.n})"
 
     def build_process(self, rng: np.random.Generator) -> GossipProcess:
-        """One fresh protocol instance drawing its setup from ``rng``."""
-        return self.protocol_factory(self.graph, rng)
+        """One fresh protocol instance drawing its setup from ``rng``.
+
+        Routed through :func:`~repro.gossip.event.build_event_process` so a
+        CSR-materialised scenario builds the decoder-less rank-only process;
+        on the networkx pipeline this is exactly ``protocol_factory(graph,
+        rng)`` as before.
+        """
+        from ..gossip.event import build_event_process
+
+        return build_event_process(self.graph, self.protocol_factory, rng)
 
     def batch_strategy(self):
         """The batch executor this scenario's trials would use, or ``None``.

@@ -1,0 +1,115 @@
+"""The optional numba event kernel: bit-identical when present, silent when not.
+
+The jitted asynchronous hot loop (:mod:`repro.backends.accel`) is an optional
+accelerator with a strict contract: when numba is importable the kernel
+replays the pure-python event loop draw for draw; when it is not (the test
+container does not ship it), :func:`~repro.backends.accel.async_event_kernel`
+returns ``None`` and nothing changes but wall-clock.  Both halves are tested
+here — the parity matrix runs only where numba is installed (the CI numba
+lane), the fallback guarantees run everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import accel, use_backend
+from repro.backends.accel import async_event_kernel, numba_available
+from repro.core import GossipAction, TimeModel
+from repro.core.rng import derive_rng
+from repro.gossip import EventGossipEngine
+from repro.scenarios import get_scenario
+from repro.scenarios.spec import default_scenario_config
+
+HAS_NUMBA = accel.numba is not None
+
+ASYNC_GF2 = default_scenario_config(time_model=TimeModel.ASYNCHRONOUS, field_size=2)
+
+
+def _spec(**overrides):
+    return get_scenario("event/er-logn").replace(n=96, trials=2, seed=1311, **overrides)
+
+
+def _engine(spec) -> EventGossipEngine:
+    materialized = spec.materialize_csr()
+    rng = derive_rng(spec.seed, "trial-0")
+    with use_backend(spec.backend):  # the eliminator family follows the backend
+        process = materialized.build_process(rng)
+        return EventGossipEngine(materialized.graph, process, materialized.config, rng)
+
+
+# ----------------------------------------------------------------------
+# Fallback guarantees (run everywhere, numba or not)
+# ----------------------------------------------------------------------
+def test_env_switch_disables_the_kernel(monkeypatch):
+    for value in ("0", "off", "OFF", "false"):
+        monkeypatch.setenv("REPRO_EVENT_KERNEL", value)
+        assert not numba_available()
+
+
+@pytest.mark.skipif(HAS_NUMBA, reason="covers the numba-less container only")
+def test_without_numba_the_kernel_slot_is_empty_and_the_engine_still_runs():
+    assert not numba_available()
+    engine = _engine(_spec())
+    assert async_event_kernel(engine) is None
+    result = engine.run()
+    assert result.completed
+    assert len(result.completion_rounds) == 96
+
+
+def test_disabled_kernel_changes_nothing(monkeypatch):
+    """With the kernel forced off, results equal the default configuration's.
+
+    Where numba is absent both runs take the python loop (a tautology that
+    still guards the env plumbing); on the CI numba lane this is the actual
+    jitted-vs-python parity check at the scenario level.
+    """
+    spec = _spec()
+    monkeypatch.setenv("REPRO_EVENT_KERNEL", "0")
+    fallback = spec.materialize_csr().measure()
+    monkeypatch.delenv("REPRO_EVENT_KERNEL")
+    default = spec.materialize_csr().measure()
+    assert fallback == default
+
+
+# ----------------------------------------------------------------------
+# Parity matrix (CI numba lane only)
+# ----------------------------------------------------------------------
+#: name → spec overrides: each axis the kernel claims to replay bit-identically.
+PARITY_CASES = {
+    "exchange": dict(),
+    "loss": dict(config=ASYNC_GF2.replace(loss_probability=0.25)),
+    "push": dict(config=ASYNC_GF2.replace(action=GossipAction.PUSH)),
+    "pull": dict(config=ASYNC_GF2.replace(action=GossipAction.PULL)),
+}
+
+
+@pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
+@pytest.mark.parametrize("case", sorted(PARITY_CASES), ids=str)
+@pytest.mark.parametrize("seed", [0, 7, 1311])
+def test_kernel_parity_per_seed(monkeypatch, case, seed):
+    """Jitted and pure-python loops produce identical RunResults per seed."""
+    spec = _spec(seed=seed, **PARITY_CASES[case])
+    monkeypatch.setenv("REPRO_EVENT_KERNEL", "0")
+    python_loop = spec.materialize_csr().measure()
+    monkeypatch.delenv("REPRO_EVENT_KERNEL")
+    jitted = spec.materialize_csr().measure()
+    assert python_loop == jitted
+
+
+@pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
+def test_kernel_matches_the_networkx_pipeline_too():
+    spec = _spec()
+    assert spec.materialize().measure() == spec.materialize_csr().measure()
+
+
+@pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
+def test_kernel_declines_workloads_outside_its_contract():
+    """Synchronous time, churn and non-gf2bit eliminators fall back to python."""
+    assert async_event_kernel(_engine(_spec())) is not None
+    sync = _spec(config=default_scenario_config(field_size=2))
+    assert async_event_kernel(_engine(sync)) is None
+    churned = _spec(config=ASYNC_GF2.replace(churn=((3, 2, 10),)))
+    assert async_event_kernel(_engine(churned)) is None
+    scalar_backend = _spec(backend="numpy")
+    assert async_event_kernel(_engine(scalar_backend)) is None
