@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-slow bench-smoke bench-json bench-check backend-check event-check csr-check numba-check scenarios-check store-check docs-check docs-api docs-api-check campaigns-check
+.PHONY: test test-slow bench-smoke bench-json bench-check backend-check event-check csr-check numba-check scenarios-check store-check docs-check docs-api docs-api-check campaigns-check asymptotics-check
 
 ## Tier-1 test suite (unit + property + integration).  Tests marked `slow`
 ## (the large batch-vs-scalar equivalence sweeps) are skipped here.  The
@@ -17,6 +17,7 @@ test:
 	$(PYTHON) -m pytest --doctest-modules -q \
 		src/repro/backends/__init__.py \
 		src/repro/scenarios/spec.py src/repro/scenarios/registry.py \
+		src/repro/scenarios/sweeps.py \
 		src/repro/store/result_store.py src/repro/analysis/tables.py \
 		src/repro/campaigns
 
@@ -140,3 +141,25 @@ campaigns-check:
 		--report-dir benchmarks/output/campaigns-check/report-offline \
 		--format md > /dev/null
 	$(PYTHON) tools/gen_api_docs.py --check
+
+## Asymptotics-campaign health check: a smoke-size decade sweep end-to-end
+## through a scratch store (cold run computes, immediate rerun must be fully
+## cached), both report formats rendered, plus a scaled-down run of the
+## streaming-summary benchmark.  At smoke sizes the record-bytes
+## ratio shrinks with n (full records carry n completion-round entries), so
+## the bytes floor is lowered; the full-size >=50x floor lives in the
+## committed BENCH_E14 record, guarded by `make bench-check`.
+asymptotics-check:
+	rm -rf benchmarks/output/asymptotics-check
+	$(PYTHON) -m repro campaign run asymptotics --min-n 160 --max-n 1600 --trials 2 \
+		--store benchmarks/output/asymptotics-check/store \
+		--report-dir benchmarks/output/asymptotics-check/report
+	$(PYTHON) -m repro campaign run asymptotics --min-n 160 --max-n 1600 --trials 2 \
+		--store benchmarks/output/asymptotics-check/store \
+		--report-dir benchmarks/output/asymptotics-check/report \
+		| grep -q "0 newly computed"
+	test -s benchmarks/output/asymptotics-check/report/report.md
+	test -s benchmarks/output/asymptotics-check/report/report.html
+	REPRO_BENCH_ASY_MIN_N=160 REPRO_BENCH_ASY_MAX_N=1600 REPRO_BENCH_ASY_TRIALS=2 \
+	REPRO_BENCH_ASY_MIN_BYTES_RATIO=5 REPRO_BENCH_ASY_MIN_R2=0.5 \
+		$(PYTHON) -m pytest benchmarks/bench_asymptotics.py --benchmark-only -q

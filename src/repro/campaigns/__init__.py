@@ -6,12 +6,19 @@ units), their dependency DAG and the derived artifacts its report carries;
 :class:`~repro.store.ResultStore` (cached units are skipped, interrupted
 campaigns resume); :func:`write_report` renders the outcome as a
 self-documenting Markdown + static-HTML report.  Built-in campaigns
-(``table1``, ``table2``, ``theorem2``, ``theorem5``, ``full-paper``) live in
-the :mod:`~repro.campaigns.registry`; ``python -m repro campaign --help``
-drives everything from the CLI.  See ``docs/campaigns.md``.
+(``table1``, ``table2``, ``theorem2``, ``theorem5``, ``full-paper``,
+``asymptotics``) live in the :mod:`~repro.campaigns.registry`;
+``python -m repro campaign --help`` drives everything from the CLI.  See
+``docs/campaigns.md``.
 """
 
-from .registry import CAMPAIGNS, campaign_names, get_campaign, register_campaign
+from .registry import (
+    CAMPAIGNS,
+    asymptotics_campaign,
+    campaign_names,
+    get_campaign,
+    register_campaign,
+)
 from .report import (
     TIMINGS_MARKER,
     render_html,
@@ -36,6 +43,7 @@ __all__ = [
     "CampaignUnit",
     "load_campaign_file",
     "CAMPAIGNS",
+    "asymptotics_campaign",
     "campaign_names",
     "get_campaign",
     "register_campaign",

@@ -25,8 +25,9 @@ from __future__ import annotations
 
 from ..core.config import SimulationConfig, TimeModel
 from ..errors import CampaignError
-from ..scenarios.registry import suggest_names
+from ..scenarios.registry import get_scenario, suggest_names
 from ..scenarios.spec import ScenarioSpec, default_scenario_config
+from ..scenarios.sweeps import decade_sweep, log_sized_cliques
 from .spec import ArtifactSpec, CampaignSpec, CampaignUnit
 
 __all__ = [
@@ -34,6 +35,7 @@ __all__ = [
     "register_campaign",
     "get_campaign",
     "campaign_names",
+    "asymptotics_campaign",
 ]
 
 #: Name → campaign.  Populated below; extendable through :func:`register_campaign`.
@@ -317,6 +319,119 @@ register_campaign(
 )
 
 
+# ----------------------------------------------------------------------
+# Asymptotics — the order-of-growth campaign behind docs/reproducing_results.md
+# chapter "Measuring the asymptotic stopping-time exponent".
+# ----------------------------------------------------------------------
+
+#: Family label → (base scenario name, topology_params policy, scale
+#: divisor).  Both bases run uniform AG through the event engine on the
+#: gf2bit backend, and both topologies have graph-free CSR builders, so
+#: every decade takes the CSR pipeline
+#: (:meth:`~repro.scenarios.ScenarioSpec.materialize_preferred`).
+#:
+#: The divisor equalises *event cost* across families rather than node
+#: count: per trial the event engine pays ``T(n)·n`` timeslots, which grows
+#: ~``n^1.15`` on the expanders (near-constant stopping time at fixed
+#: ``k``) but ~``n^1.9`` on the conductance-limited ring of cliques
+#: (``T(n) ≈ n^0.93``).  Walking the ring family one decade lower
+#: (``n / 10``) makes its decades cost roughly what the expander decades
+#: cost (``10^0.9 ≈ 8×``), which is what keeps the CI-sized campaign in
+#: minutes and the full-scale one in hours instead of weeks.
+_ASYMPTOTICS_FAMILIES = (
+    ("er-logn", "event/er-logn", None, 1),
+    ("ring-of-cliques", "event/ring-of-cliques", log_sized_cliques, 10),
+)
+
+
+def asymptotics_campaign(
+    *,
+    min_n: int = 1_000,
+    max_n: int = 10_000,
+    points_per_decade: int = 1,
+    trials: "int | None" = None,
+) -> CampaignSpec:
+    """The decade-sweep stopping-time campaign, at a configurable scale.
+
+    Two families walk ``n`` up the decades: the ``c·log n / n``
+    Erdős–Rényi expanders (Theorem 2's O(n) regime) from ``min_n`` to
+    ``max_n``, and the ring of log-sized cliques (conductance-limited;
+    clique count scales as ``Θ(n / log n)`` via
+    :func:`~repro.scenarios.log_sized_cliques`) one decade lower
+    (``min_n/10 .. max_n/10`` — see ``_ASYMPTOTICS_FAMILIES`` for why that
+    equalises per-decade event cost).  Every unit records through the
+    streaming-summary store path (``record="summary"``) and each family's
+    decades chain ``after`` one another small-to-large, so an interrupted
+    run resumes exactly at the decade it stopped in.  One
+    ``asymptotic-fit`` artifact fits both families' exponents with
+    bootstrap CIs.
+
+    The registered ``asymptotics`` campaign is this builder at its CI-sized
+    defaults (``10^3..10^4``).  The CLI rebuilds it on demand:
+    ``python -m repro campaign run asymptotics --max-n 1000000`` is the
+    full-scale (n = 10^6) measurement — see docs/reproducing_results.md for
+    the runtime/RSS budget.
+    """
+    units: list[CampaignUnit] = []
+    for family, scenario_name, params, divisor in _ASYMPTOTICS_FAMILIES:
+        base = get_scenario(scenario_name)
+        if min_n // divisor < 2 * base.k:
+            raise CampaignError(
+                f"family {family!r} walks decades from n = min_n/{divisor} "
+                f"= {min_n // divisor}, too small to place its k = {base.k} "
+                f"messages comfortably — raise --min-n to at least "
+                f"{2 * base.k * divisor}"
+            )
+        previous = ""
+        for spec in decade_sweep(
+            base,
+            min_n=min_n // divisor,
+            max_n=max_n // divisor,
+            points_per_decade=points_per_decade,
+            trials=trials,
+            topology_params=params,
+        ):
+            name = f"{family}-n{spec.n}"
+            units.append(
+                CampaignUnit(
+                    name=name,
+                    spec=spec,
+                    group=family,
+                    after=(previous,) if previous else (),
+                    record="summary",
+                )
+            )
+            previous = name
+    return CampaignSpec(
+        name="asymptotics",
+        title="Asymptotic stopping-time exponents over decade sweeps",
+        description=(
+            "Uniform algebraic gossip swept over decades of n on two "
+            "families — c·log n/n Erdős–Rényi expanders (the Theorem 2 "
+            "O(n) regime) and rings of log-sized cliques, the latter one "
+            "decade lower to equalise per-decade event cost — through the "
+            "event-driven CSR pipeline with streaming summary records, "
+            "then fitted to T(n) = c·n^a with bootstrap confidence "
+            "intervals.  Rebuild at full scale with --min-n/--max-n "
+            "(e.g. --max-n 1000000)."
+        ),
+        units=tuple(units),
+        artifacts=(
+            ArtifactSpec(
+                kind="measured-table",
+                title="Per-decade stopping times",
+            ),
+            ArtifactSpec(
+                kind="asymptotic-fit",
+                title="Stopping-time exponent fits",
+            ),
+        ),
+    )
+
+
+register_campaign(asymptotics_campaign())
+
+
 def _prefixed(campaign: CampaignSpec, prefix: str) -> tuple[CampaignUnit, ...]:
     """The campaign's units renamed ``<prefix>/<unit>`` (deps rewritten too)."""
     return tuple(
@@ -328,6 +443,7 @@ def _prefixed(campaign: CampaignSpec, prefix: str) -> tuple[CampaignUnit, ...]:
             seed=unit.seed,
             group=unit.group or prefix,
             after=tuple(f"{prefix}/{dep}" for dep in unit.after),
+            record=unit.record,
         )
         for unit in campaign.units
     )

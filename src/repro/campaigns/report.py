@@ -9,8 +9,9 @@ to audit and regenerate the numbers it shows:
   ``computed`` / ``partial``) and measured statistics,
 * the store cache statistics (trials read back vs newly simulated),
 * every declared artifact — regenerated paper tables, CSV extracts,
-  rank-evolution curves (inline SVG in the HTML report), and
-* per-unit wall-clock timings.
+  rank-evolution curves and asymptotic log-log fits (inline SVG in the
+  HTML report), and
+* per-unit wall-clock timings and peak-RSS high-water marks.
 
 Determinism contract
 --------------------
@@ -125,11 +126,23 @@ def _timing_rows(result: CampaignResult) -> list[dict[str, Any]]:
             "unit": outcome.unit.name,
             "status": outcome.status,
             "seconds": round(outcome.seconds, 3),
+            # Process-lifetime high-water mark at unit completion (rusage):
+            # cumulative, so the largest decade's row is the run's budget.
+            "peak_rss_mib": (
+                "-"
+                if outcome.peak_rss_mib is None
+                else round(outcome.peak_rss_mib, 1)
+            ),
         }
         for outcome in result.outcomes
     ]
     rows.append(
-        {"unit": "TOTAL", "status": "-", "seconds": round(result.seconds, 3)}
+        {
+            "unit": "TOTAL",
+            "status": "-",
+            "seconds": round(result.seconds, 3),
+            "peak_rss_mib": rows[-1]["peak_rss_mib"] if rows else "-",
+        }
     )
     return rows
 
@@ -183,7 +196,10 @@ def _markdown_artifact(artifact_result: ArtifactResult) -> list[str]:
     parts = [f"## {artifact.label}", ""]
     if artifact_result.rows:
         parts += [format_markdown_table(list(artifact_result.rows)), ""]
-    if artifact.kind in ("csv", "rank-evolution") and artifact_result.csv:
+    if (
+        artifact.kind in ("csv", "rank-evolution", "asymptotic-fit")
+        and artifact_result.csv
+    ):
         slug = _artifact_slug(artifact.label)
         parts += [
             f"CSV extract written alongside this report as `{slug}.csv` "
@@ -195,10 +211,15 @@ def _markdown_artifact(artifact_result: ArtifactResult) -> list[str]:
             if not points:
                 continue
             final = points[-1]
-            parts.append(
-                f"- `{name}`: min rank reaches {final[1]:.0f} at round "
-                f"{final[0]:.0f} (curve in the HTML report / CSV extract)"
-            )
+            if artifact.kind == "asymptotic-fit":
+                parts.append(
+                    f"- {name} (log-log curve in the HTML report / CSV extract)"
+                )
+            else:
+                parts.append(
+                    f"- `{name}`: min rank reaches {final[1]:.0f} at round "
+                    f"{final[0]:.0f} (curve in the HTML report / CSV extract)"
+                )
         parts.append("")
     return parts
 
@@ -294,6 +315,77 @@ def _svg_curve(
     return "\n".join(lines)
 
 
+def _svg_loglog(
+    name: str, points: Sequence[tuple[float, float, float, float]]
+) -> str:
+    """A dependency-free inline SVG of one asymptotic log-log curve.
+
+    Points are ``(log10 n, log10 mean, log10 fitted, log10 p95)`` (see the
+    ``asymptotic-fit`` builder); the measured mean is drawn with point
+    markers, the fitted power law as a line through them, the p95 curve
+    dimly above.  The fitted slope and its CI ride in ``name``.  Same
+    determinism contract as :func:`_svg_curve`: fixed canvas, coordinates
+    rounded to 2 decimals.
+    """
+    if not points:
+        return ""
+    width, height, pad = 560.0, 220.0, 30.0
+    xs = [point[0] for point in points]
+    ys = [value for point in points for value in point[1:]]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    def x_at(value: float) -> float:
+        return pad + ((value - x_lo) / x_span) * (width - 2 * pad)
+
+    def y_at(value: float) -> float:
+        return height - pad - ((value - y_lo) / y_span) * (height - 2 * pad)
+
+    def coords(series_index: int) -> str:
+        return " ".join(
+            f"{x_at(point[0]):.2f},{y_at(point[series_index]):.2f}"
+            for point in points
+        )
+
+    lines = [
+        f'<svg class="curve" viewBox="0 0 {width:.0f} {height:.0f}" '
+        f'width="{width:.0f}" height="{height:.0f}" role="img" '
+        f'aria-label="log-log stopping time of {html.escape(name)}">',
+        f'<text x="{pad:.0f}" y="16" font-size="12">'
+        f"{html.escape(name)}</text>",
+        f'<text x="{pad:.0f}" y="{height - 8:.0f}" font-size="11" fill="#555">'
+        f"log10 n: {x_lo:.1f} … {x_hi:.1f}; log10 rounds: "
+        f"{y_lo:.1f} … {y_hi:.1f}</text>",
+        f'<line x1="{pad:.0f}" y1="{height - pad:.0f}" x2="{width - pad:.0f}" '
+        f'y2="{height - pad:.0f}" stroke="#999"/>',
+        f'<line x1="{pad:.0f}" y1="{pad:.0f}" x2="{pad:.0f}" '
+        f'y2="{height - pad:.0f}" stroke="#999"/>',
+        f'<polyline fill="none" stroke="#bbb" stroke-width="1" '
+        f'stroke-dasharray="4 3" points="{coords(3)}">'
+        "<title>p95 (measured)</title></polyline>",
+        f'<polyline fill="none" stroke="#2166ac" stroke-width="1.5" '
+        f'points="{coords(2)}"><title>fitted power law</title></polyline>',
+        f'<polyline fill="none" stroke="#b2182b" stroke-width="1.5" '
+        f'points="{coords(1)}"><title>mean (measured)</title></polyline>',
+    ]
+    for point in points:
+        lines.append(
+            f'<circle cx="{x_at(point[0]):.2f}" cy="{y_at(point[1]):.2f}" '
+            'r="3" fill="#b2182b"/>'
+        )
+    for offset, (label, color) in enumerate(
+        (("mean (measured)", "#b2182b"), ("fit", "#2166ac"), ("p95", "#999"))
+    ):
+        lines.append(
+            f'<text x="{width - pad - 150:.0f}" y="{pad + 14 * offset:.0f}" '
+            f'font-size="11" fill="{color}">{label}</text>'
+        )
+    lines.append("</svg>")
+    return "\n".join(lines)
+
+
 def render_html(result: CampaignResult) -> str:
     """The full static-HTML report: deterministic body, marker, timings."""
     campaign = result.campaign
@@ -324,14 +416,20 @@ def render_html(result: CampaignResult) -> str:
         parts.append(f"<h2>{html.escape(artifact.label)}</h2>")
         if artifact_result.rows:
             parts.append(_html_table(list(artifact_result.rows)))
-        if artifact.kind in ("csv", "rank-evolution") and artifact_result.csv:
+        if (
+            artifact.kind in ("csv", "rank-evolution", "asymptotic-fit")
+            and artifact_result.csv
+        ):
             slug = _artifact_slug(artifact.label)
             parts.append(
                 f"<p>CSV extract: <a href=\"{html.escape(slug)}.csv\">"
                 f"{html.escape(slug)}.csv</a></p>"
             )
+        curve_renderer = (
+            _svg_loglog if artifact.kind == "asymptotic-fit" else _svg_curve
+        )
         for name, points in artifact_result.curves:
-            parts.append(_svg_curve(name, points))
+            parts.append(curve_renderer(name, points))
     parts += [
         "<h2>Campaign spec</h2>",
         "<p>The exact campaign this report documents "

@@ -23,6 +23,8 @@ store counters and evaluated artifacts — is what
 from __future__ import annotations
 
 import contextlib
+import math
+import sys
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
@@ -30,13 +32,35 @@ from typing import Any, Callable, Mapping, Sequence
 from ..analysis.tables import table1_rows, table2_rows
 from ..core.results import RunResult, StoppingTimeStats, aggregate_results
 from ..core.rng import derive_rng
-from ..errors import CampaignError
-from ..experiments.parallel import measure_protocol_parallel, shared_process_pool
+from ..errors import AnalysisError, CampaignError
+from ..experiments.parallel import (
+    _measure_trial_indices,
+    measure_protocol_parallel,
+    shared_process_pool,
+)
 from ..graphs.topologies import build_topology
 from ..scenarios.spec import ScenarioSpec
 from .spec import ArtifactSpec, CampaignSpec, CampaignUnit
 
 __all__ = ["UnitOutcome", "ArtifactResult", "CampaignResult", "run_campaign"]
+
+
+def _peak_rss_mib() -> "float | None":
+    """This process's lifetime peak RSS in MiB, or ``None`` where unavailable.
+
+    Mirrors ``benchmarks/_utils.peak_rss_mib``: ``ru_maxrss`` is KiB on
+    Linux, bytes on macOS.  The high-water mark only grows, so per-unit
+    values in a campaign are cumulative — useful as a budget check for the
+    largest decade, not as a per-unit delta.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss is bytes there
+        return peak / (1024 * 1024)
+    return peak / 1024
 
 
 @dataclass(frozen=True)
@@ -45,8 +69,11 @@ class UnitOutcome:
 
     ``cached_trials`` / ``computed_trials`` partition the unit's trial plan:
     a fully warm unit is *cached* (nothing simulated), a cold one *computed*,
-    an interrupted-and-resumed one *partial*.  ``seconds`` is wall-clock and
-    therefore excluded from the deterministic report body.
+    an interrupted-and-resumed one *partial*.  ``seconds`` and
+    ``peak_rss_mib`` are wall-clock/rusage observations and therefore
+    excluded from the deterministic report body.  Units executed through
+    the streaming-summary path (``record == "summary"``) carry no full
+    ``results`` tuple — only ``stats``.
     """
 
     unit: CampaignUnit
@@ -61,6 +88,7 @@ class UnitOutcome:
     n: int
     k: int
     seconds: float
+    peak_rss_mib: "float | None" = None
 
     @property
     def status(self) -> str:
@@ -79,7 +107,9 @@ class ArtifactResult:
     artifact: ArtifactSpec
     rows: tuple[Mapping[str, Any], ...] = ()
     csv: str = ""
-    #: ``rank-evolution`` only: unit name → (round, min, median, max) tuples.
+    #: ``rank-evolution``: unit name → (round, min, median, max) tuples.
+    #: ``asymptotic-fit``: annotated family label →
+    #: (log10 n, log10 mean, log10 fitted, log10 p95) tuples.
     curves: tuple[tuple[str, tuple[tuple[float, float, float, float], ...]], ...] = ()
 
 
@@ -131,6 +161,10 @@ def _run_unit(
     offline: bool,
 ) -> UnitOutcome:
     """Execute one unit's Monte Carlo plan through the store."""
+    if unit.record == "summary":
+        return _run_summary_unit(
+            unit, spec, store=store, batch=batch, fresh=fresh, offline=offline
+        )
     scenario = spec.materialize()
     missing_before = store.missing_trials(spec)
     if offline and missing_before:
@@ -166,6 +200,80 @@ def _run_unit(
         n=scenario.n,
         k=scenario.k,
         seconds=seconds,
+        peak_rss_mib=_peak_rss_mib(),
+    )
+
+
+def _run_summary_unit(
+    unit: CampaignUnit,
+    spec: ScenarioSpec,
+    *,
+    store: Any,
+    batch: bool,
+    fresh: bool,
+    offline: bool,
+) -> UnitOutcome:
+    """Execute one unit through the streaming-summary store path.
+
+    The asymptotic campaigns run decades up to ``n = 10^6``, where archiving
+    full :class:`~repro.core.results.RunResult` payloads (per-node completion
+    rounds included) would dwarf the statistics they exist to support.  This
+    path differs from :func:`_run_unit` in three deliberate ways:
+
+    * the scenario materializes through
+      :meth:`~repro.scenarios.ScenarioSpec.materialize_preferred`, so
+      event-engine units take the graph-free CSR pipeline when the topology
+      has a CSR builder;
+    * missing trials are computed **in-process** with
+      :func:`~repro.experiments.parallel._measure_trial_indices` — the trial
+      results stream straight into :meth:`~repro.store.ResultStore.put_summaries`
+      without the parallel runner's full-record archival; and
+    * statistics come from :meth:`~repro.store.ResultStore.aggregate`, which
+      consumes summary and full records interchangeably — so a summary unit
+      over a store already holding full records is served from cache,
+      bit-identically.
+    """
+    scenario = spec.materialize_preferred()
+    missing_before = store.missing_summary_trials(spec)
+    if offline and missing_before:
+        raise CampaignError(
+            f"unit {unit.name!r} is not fully cached in {store.root}: "
+            f"{len(missing_before)}/{spec.trials} trial(s) missing "
+            f"(indices {missing_before[:8]}"
+            f"{'...' if len(missing_before) > 8 else ''}) — execute it first "
+            "('campaign run'), then render the report"
+        )
+    started = time.perf_counter()
+    to_compute = list(range(spec.trials)) if fresh else list(missing_before)
+    if to_compute:
+        results = _measure_trial_indices(
+            scenario.graph,
+            scenario.protocol_factory,
+            scenario.config,
+            spec.seed,
+            to_compute,
+            batch,
+            spec.backend,
+            spec.engine,
+        )
+        store.put_summaries(spec, dict(zip(to_compute, results)))
+    stats = store.aggregate(spec)
+    seconds = time.perf_counter() - started
+    computed = len(to_compute)
+    return UnitOutcome(
+        unit=unit,
+        spec=spec,
+        fingerprint=spec.fingerprint(),
+        trials=spec.trials,
+        seed=spec.seed,
+        cached_trials=spec.trials - computed,
+        computed_trials=computed,
+        stats=stats,
+        results=(),
+        n=scenario.n,
+        k=scenario.k,
+        seconds=seconds,
+        peak_rss_mib=_peak_rss_mib(),
     )
 
 
@@ -300,6 +408,105 @@ def _rank_evolution(
     )
 
 
+def _asymptotic_fit(
+    artifact: ArtifactSpec, outcomes: Sequence[UnitOutcome]
+) -> ArtifactResult:
+    """Exponent fits over the selected units' decade sweeps.
+
+    Units are grouped into families by their ``group`` label (a group-less
+    unit forms its own family).  Per family the artifact yields one fit
+    row, per-decade CSV rows (measured mean/p95 next to the fitted
+    prediction), and one log-log curve whose points are
+    ``(log10 n, log10 mean, log10 fitted, log10 p95)`` — the shape
+    :func:`repro.campaigns.report._svg_loglog` plots.
+
+    A family whose data cannot identify an exponent (one size only, zero
+    variance across sizes — degenerate cases :func:`fit_decades` rejects
+    with a typed error) degrades to a row carrying the error text in its
+    ``note`` column instead of failing the whole campaign: the trials are
+    already archived and the report must still document them.  The strict
+    behaviour lives in ``python -m repro analyze fit``.
+
+    ``params`` tunes the fit: ``bootstrap`` (default 200), ``confidence``
+    (default 0.95) and ``seed`` (default 0) pass straight through to
+    :func:`~repro.analysis.fit_decades`.
+    """
+    from ..analysis.asymptotics import fit_decades
+    from ..analysis.tables import rows_to_csv
+
+    params = dict(artifact.params)
+    bootstrap = int(params.get("bootstrap", 200))
+    confidence = float(params.get("confidence", 0.95))
+    fit_seed = int(params.get("seed", 0))
+    families: dict[str, list[UnitOutcome]] = {}
+    for outcome in _selected(artifact, outcomes):
+        families.setdefault(outcome.unit.group or outcome.unit.name, []).append(
+            outcome
+        )
+    rows: list[dict[str, Any]] = []
+    csv_rows: list[dict[str, Any]] = []
+    curves: list[tuple[str, tuple[tuple[float, float, float, float], ...]]] = []
+    for family in sorted(families):
+        members = sorted(families[family], key=lambda member: member.n)
+        samples_by_n = {member.n: member.stats.samples for member in members}
+        try:
+            fit = fit_decades(
+                samples_by_n,
+                bootstrap=bootstrap,
+                seed=fit_seed,
+                confidence=confidence,
+            )
+        except AnalysisError as error:
+            fit = None
+            note = str(error)
+        else:
+            note = ""
+        rows.append(
+            {
+                "family": family,
+                "sizes": len(samples_by_n),
+                "n_min": members[0].n,
+                "n_max": members[-1].n,
+                "exponent": round(fit.exponent, 4) if fit else "-",
+                "ci_low": round(fit.ci_low, 4) if fit else "-",
+                "ci_high": round(fit.ci_high, 4) if fit else "-",
+                "r_squared": round(fit.r_squared, 4) if fit else "-",
+                "coefficient": round(fit.coefficient, 4) if fit else "-",
+                "note": note,
+            }
+        )
+        points = []
+        for member in members:
+            csv_rows.append(
+                {
+                    "family": family,
+                    "unit": member.unit.name,
+                    "n": member.n,
+                    "trials": member.trials,
+                    "mean_rounds": member.stats.mean,
+                    "p95_rounds": member.stats.whp,
+                    "fitted_rounds": fit.predict(member.n) if fit else "",
+                }
+            )
+            if fit is not None:
+                points.append(
+                    (
+                        math.log10(member.n),
+                        math.log10(member.stats.mean),
+                        math.log10(fit.predict(member.n)),
+                        math.log10(member.stats.whp),
+                    )
+                )
+        if fit is not None:
+            curves.append((f"{family} — {fit.summary()}", tuple(points)))
+    return ArtifactResult(
+        artifact=artifact,
+        rows=tuple(rows),
+        csv=rows_to_csv(csv_rows) if csv_rows else "",
+        curves=tuple(curves),
+    )
+
+
 _ARTIFACT_BUILDERS: dict[
     str, Callable[[ArtifactSpec, Sequence[UnitOutcome]], ArtifactResult]
 ] = {
@@ -308,6 +515,7 @@ _ARTIFACT_BUILDERS: dict[
     "table2-analytic": _table2_analytic,
     "csv": _csv_extract,
     "rank-evolution": _rank_evolution,
+    "asymptotic-fit": _asymptotic_fit,
 }
 
 

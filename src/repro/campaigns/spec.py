@@ -90,12 +90,20 @@ __all__ = [
 #:     Per-round min/median/max decoder-rank curve of each named unit's
 #:     trial 0 (uniform/tag protocols only), as CSV plus an inline SVG plot
 #:     in the HTML report.
+#: ``asymptotic-fit``
+#:     Stopping-time exponent fits over decade sweeps
+#:     (:func:`repro.analysis.fit_decades`): units are grouped by their
+#:     ``group`` label into families, each family's per-size stopping times
+#:     are fitted to ``T(n) = c·n^a`` with a bootstrap CI, and the report
+#:     carries one fit row per family, a per-decade CSV extract and a
+#:     log-log SVG plot with the fitted slope annotated.
 ARTIFACT_KINDS = (
     "measured-table",
     "table1-analytic",
     "table2-analytic",
     "csv",
     "rank-evolution",
+    "asymptotic-fit",
 )
 
 
@@ -134,6 +142,11 @@ class CampaignUnit:
     ``trials`` / ``seed`` override the scenario's own plan when given.
     ``after`` names units that must execute first (the campaign DAG);
     ``group`` is a free-form label artifacts and reports can select on.
+    ``record`` picks what the store archives per trial: ``""`` (the default)
+    keeps full :class:`~repro.core.results.RunResult` records, ``"summary"``
+    streams only the stopping-time projection
+    (:func:`repro.store.summarize_result`) — the constant-size record path
+    large asymptotic sweeps need.
     """
 
     name: str
@@ -143,6 +156,7 @@ class CampaignUnit:
     seed: "int | None" = None
     group: str = ""
     after: tuple[str, ...] = ()
+    record: str = ""
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -155,6 +169,11 @@ class CampaignUnit:
         if self.trials is not None and self.trials < 1:
             raise CampaignError(
                 f"unit {self.name!r}: trials must be positive, got {self.trials}"
+            )
+        if self.record not in ("", "summary"):
+            raise CampaignError(
+                f"unit {self.name!r}: record must be '' (full results) or "
+                f"'summary' (streaming stopping-time records), got {self.record!r}"
             )
         object.__setattr__(self, "after", tuple(self.after))
 
@@ -192,6 +211,8 @@ class CampaignUnit:
             data["group"] = self.group
         if self.after:
             data["after"] = list(self.after)
+        if self.record:
+            data["record"] = self.record
         return data
 
     @classmethod
@@ -317,7 +338,7 @@ class CampaignSpec:
                     f"campaign {self.name!r} artifact {artifact.label!r} "
                     f"references unknown unit(s) {missing}"
                 )
-            if artifact.kind in ("csv", "rank-evolution"):
+            if artifact.kind in ("csv", "rank-evolution", "asymptotic-fit"):
                 # These artifacts write `<slug>.csv` next to the report, so
                 # their labels must slug uniquely — checked here, at load
                 # time, not after the whole campaign has executed.

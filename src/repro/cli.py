@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the common workflows (run ``python -m repro <cmd>
+Seven subcommands cover the common workflows (run ``python -m repro <cmd>
 --help`` for the full flag reference of each):
 
 ``run``
@@ -39,6 +39,23 @@ Six subcommands cover the common workflows (run ``python -m repro <cmd>
         python -m repro campaign run table1 --trials 2
         python -m repro campaign run full-paper --jobs 4
         python -m repro campaign report table1 --report-dir reports/table1
+
+    The built-in ``asymptotics`` campaign sweeps ``n`` over decades through
+    the streaming-summary store path and fits the stopping-time exponent;
+    ``--min-n`` / ``--max-n`` / ``--points-per-decade`` rebuild it at any
+    scale (``--max-n 1000000`` is the full-scale measurement)::
+
+        python -m repro campaign run asymptotics --max-n 10000 --trials 5
+        python -m repro campaign run asymptotics --max-n 1000000
+
+``analyze``
+    Post-hoc analysis over an already-filled store.  ``fit`` takes two or
+    more cached workloads (fingerprint prefixes) forming a size sweep and
+    fits the stopping-time exponent ``T(n) = c·n^a`` with a bootstrap
+    confidence interval (:func:`repro.analysis.fit_decades`)::
+
+        python -m repro analyze fit 3f1c 9a2e c07d --store .repro-store
+        python -m repro analyze fit 3f1c 9a2e --bootstrap 500 --json
 
 ``experiment``
     Execute a registered experiment (E1–E8 or a user-registered one) and
@@ -462,6 +479,28 @@ def build_parser() -> argparse.ArgumentParser:
             "--format", choices=["md", "html", "both"], default="both",
             help="report format(s) to write (default: %(default)s)",
         )
+        sub.add_argument(
+            "--min-n", type=int, default=None, metavar="N",
+            help=(
+                "asymptotics campaign only: rebuild the decade sweep starting "
+                "at this size (default: the registered campaign's 1000)"
+            ),
+        )
+        sub.add_argument(
+            "--max-n", type=int, default=None, metavar="N",
+            help=(
+                "asymptotics campaign only: rebuild the decade sweep up to "
+                "this size — 1000000 is the full-scale measurement "
+                "(default: the registered campaign's 10000)"
+            ),
+        )
+        sub.add_argument(
+            "--points-per-decade", type=int, default=None, metavar="P",
+            help=(
+                "asymptotics campaign only: geometric steps per decade of the "
+                "rebuilt sweep (default: 1)"
+            ),
+        )
 
     campaign_run_parser = campaign_actions.add_parser(
         "run",
@@ -522,6 +561,55 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_report_parser.add_argument(
         "--seed", type=int, default=None,
         help="campaign-wide seed override (must match the executed run)",
+    )
+
+    analyze_parser = subparsers.add_parser(
+        "analyze",
+        help="post-hoc analysis over an already-filled result store",
+        description=(
+            "Analyses that consume cached trials without simulating "
+            "anything.  'fit' takes two or more cached workloads forming a "
+            "size sweep and fits the stopping-time exponent T(n) = c*n^a by "
+            "least squares on the log-log means, with a deterministic "
+            "bootstrap confidence interval."
+        ),
+    )
+    analyze_actions = analyze_parser.add_subparsers(dest="action", required=True)
+
+    fit_parser = analyze_actions.add_parser(
+        "fit",
+        help="fit the stopping-time exponent over cached workloads",
+        description=(
+            "Each FINGERPRINT (any unambiguous prefix) names a cached "
+            "workload whose spec provides its size n and trial plan; the "
+            "fit runs over the per-size stopping-time samples the store "
+            "holds (full results and streaming summaries alike).  At least "
+            "two distinct sizes are required."
+        ),
+    )
+    fit_parser.add_argument(
+        "fingerprints", nargs="+", metavar="FINGERPRINT",
+        help="cached workload fingerprints (unambiguous prefixes), one per size",
+    )
+    fit_parser.add_argument(
+        "--bootstrap", type=int, default=200,
+        help="bootstrap replicates behind the confidence interval (default: %(default)s)",
+    )
+    fit_parser.add_argument(
+        "--confidence", type=float, default=0.95,
+        help="two-sided CI coverage, strictly between 0 and 1 (default: %(default)s)",
+    )
+    fit_parser.add_argument(
+        "--fit-seed", type=int, default=0,
+        help="root seed of the bootstrap streams (default: %(default)s)",
+    )
+    fit_parser.add_argument(
+        "--json", action="store_true",
+        help="print the fit as a JSON object (default: one summary line)",
+    )
+    fit_parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help=f"store directory (default: ${_STORE_ENV} or {_DEFAULT_STORE})",
     )
 
     experiment_parser = subparsers.add_parser(
@@ -727,7 +815,7 @@ def _run_scenario_spec(
     """
     if seed is not None:
         spec = spec.replace(seed=seed)
-    scenario = _materialize_preferred(spec)
+    scenario = spec.materialize_preferred()
     # Title uses the materialised n/k (topology rounding / k clamping applied).
     title = spec.name or f"{scenario.spec.topology}(n={scenario.n}, k={scenario.k})"
     if title_prefix is not None:
@@ -751,35 +839,6 @@ def _run_scenario_spec(
     print(f"{title}: {stats.summary()}")
     _print_store_summary(store)
     return 0
-
-
-def _spec_uses_csr_pipeline(spec: ScenarioSpec) -> bool:
-    """Does the CLI route ``spec`` through the direct-CSR pipeline?
-
-    Exactly the workloads :meth:`ScenarioSpec.materialize_csr` accepts:
-    uniform algebraic gossip pinned to the event engine, on a topology
-    family with a direct-CSR builder.
-    """
-    from .graphs import has_csr_builder
-
-    return (
-        spec.protocol == "uniform"
-        and spec.engine == "event"
-        and has_csr_builder(spec.topology)
-    )
-
-
-def _materialize_preferred(spec: ScenarioSpec):
-    """Materialise through the CSR pipeline when the spec qualifies.
-
-    Results are bit-identical either way (the pipelines share one adjacency
-    contract and the engines are seed-equivalent); the CSR path avoids ever
-    constructing an ``nx.Graph``, which is what makes event-engine runs at
-    ``n = 10^5``–``10^6`` fit in time and memory.
-    """
-    if _spec_uses_csr_pipeline(spec):
-        return spec.materialize_csr()
-    return spec.materialize()
 
 
 def _print_store_summary(store: ResultStore | None) -> None:
@@ -887,7 +946,7 @@ def _command_scenario_stats(args: argparse.Namespace) -> int:
     spec = get_scenario(args.name)
     kwargs = dict(spec.topology_params)
     start = time.perf_counter()
-    if _spec_uses_csr_pipeline(spec):
+    if spec.uses_csr_pipeline():
         pipeline = "csr"
         graph = build_csr_topology(spec.topology, spec.n, use_cache=False, **kwargs)
         indptr, indices = graph.indptr, graph.indices
@@ -1002,6 +1061,21 @@ def _command_campaign(args: argparse.Namespace) -> int:
         return 0
     # run / report
     campaign = _resolve_campaign(args)
+    scale = {
+        key: getattr(args, key)
+        for key in ("min_n", "max_n", "points_per_decade")
+        if getattr(args, key) is not None
+    }
+    if scale:
+        if campaign.name != "asymptotics":
+            raise ReproError(
+                "--min-n/--max-n/--points-per-decade rebuild the "
+                f"'asymptotics' decade sweep and are not valid for campaign "
+                f"{campaign.name!r}"
+            )
+        from .campaigns import asymptotics_campaign
+
+        campaign = asymptotics_campaign(**scale)
     store_path = args.store or os.environ.get(_STORE_ENV) or _DEFAULT_STORE
     offline = args.action == "report"
     # Report-only mode must not create an empty store just to fail against it.
@@ -1027,6 +1101,42 @@ def _command_campaign(args: argparse.Namespace) -> int:
     for kind, path in written.items():
         if kind not in formats:
             print(f"artifact: {path}")
+    return 0
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    """``analyze fit`` — exponent fit over cached workloads of a size sweep."""
+    import dataclasses
+
+    from .analysis import fit_decades
+
+    store = _existing_store(args.store)
+    samples_by_n: dict[int, list[float]] = {}
+    for prefix in args.fingerprints:
+        fingerprint = store.resolve_fingerprint(prefix)
+        spec = store.spec(fingerprint)
+        stats = store.aggregate(spec)
+        # Two workloads of the same size (e.g. different seeds) pool their
+        # samples — more trials per size, same fit contract.
+        samples_by_n.setdefault(spec.n, []).extend(stats.samples)
+        print(
+            f"n={spec.n}: {fingerprint[:12]}... — {spec.trials} trial(s), "
+            f"mean {stats.mean:.2f} rounds",
+            file=sys.stderr,
+        )
+    fit = fit_decades(
+        samples_by_n,
+        bootstrap=args.bootstrap,
+        seed=args.fit_seed,
+        confidence=args.confidence,
+    )
+    if args.json:
+        payload = dataclasses.asdict(fit)
+        payload["sizes"] = sorted(samples_by_n)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"T(n) = {fit.coefficient:.4g} * n^{fit.exponent:.4f}")
+    print(fit.summary())
     return 0
 
 
@@ -1168,6 +1278,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": _command_run,
         "scenario": _command_scenario,
         "campaign": _command_campaign,
+        "analyze": _command_analyze,
         "experiment": _command_experiment,
         "store": _command_store,
         "tables": _command_tables,

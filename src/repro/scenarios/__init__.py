@@ -30,6 +30,7 @@ from .spec import (
     default_scenario_config,
     scenario_case,
 )
+from .sweeps import decade_ns, decade_sweep, log_sized_cliques
 
 __all__ = [
     "Placement",
@@ -54,4 +55,7 @@ __all__ = [
     "UniformGossipFactory",
     "default_scenario_config",
     "scenario_case",
+    "decade_ns",
+    "decade_sweep",
+    "log_sized_cliques",
 ]

@@ -604,6 +604,29 @@ class ScenarioSpec:
         )
         return self._materialize_from_graph(graph)
 
+    def uses_csr_pipeline(self) -> bool:
+        """Whether :meth:`materialize_preferred` would take the CSR pipeline."""
+        return (
+            self.engine == "event"
+            and self.protocol == "uniform"
+            and has_csr_builder(self.topology)
+        )
+
+    def materialize_preferred(self) -> "MaterializedScenario":
+        """Materialise through the cheapest eligible pipeline.
+
+        Routes to :meth:`materialize_csr` when the workload qualifies for
+        the graph-free pipeline (event engine, uniform protocol, a direct
+        CSR builder for the topology family) and to :meth:`materialize`
+        otherwise.  Per-seed results are bit-identical either way — only
+        materialisation time and peak RSS differ — which makes this the
+        right default wherever large-n workloads may flow through (the CLI
+        trial runners, the campaign runner's summary units).
+        """
+        if self.uses_csr_pipeline():
+            return self.materialize_csr()
+        return self.materialize()
+
     def _materialize_from_graph(
         self, graph: "nx.Graph | CSRGraph"
     ) -> "MaterializedScenario":

@@ -1,0 +1,117 @@
+"""Decade-sweep spec helpers for asymptotic campaigns.
+
+An asymptotic stopping-time measurement is a family of otherwise-identical
+scenarios whose sizes walk up the decades: ``n = 10^3, 10^4, ..., 10^6``.
+:func:`decade_ns` generates those sizes deterministically and
+:func:`decade_sweep` turns a base :class:`~repro.scenarios.ScenarioSpec`
+into one spec per size — the shape the built-in ``asymptotics`` campaign
+(:func:`repro.campaigns.registry.asymptotics_campaign`) and the exponent
+fit (:func:`repro.analysis.fit_decades`) consume.
+
+Topology parameters may need to scale with ``n``: a ``ring_of_cliques``
+with a *fixed* clique count densifies quadratically as ``n`` grows (a
+``cliques=8`` ring at ``n = 10^6`` would hold ~6·10^10 intra-clique
+edges).  ``decade_sweep`` therefore accepts a callable
+``topology_params(n)``, and :func:`log_sized_cliques` is the standard
+choice for the ring family: clique size ``≈ log2 n``, the
+``cliques = Θ(n / log n)`` parameterisation the builder's own docstring
+names, keeping the edge count ``O(n log n)`` at every decade.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Mapping
+
+from ..errors import ConfigurationError
+from .spec import ScenarioSpec
+
+__all__ = ["decade_ns", "decade_sweep", "log_sized_cliques"]
+
+
+def decade_ns(
+    min_n: int, max_n: int, *, points_per_decade: int = 1
+) -> tuple[int, ...]:
+    """The sizes of a decade sweep: geometric steps from ``min_n`` to ``max_n``.
+
+    Size ``i`` is ``round(min_n · 10^(i / points_per_decade))``; the
+    sequence stops at the last value not exceeding ``max_n``.  Fewer than
+    two resulting sizes raise :class:`~repro.errors.ConfigurationError` — a
+    single size cannot support an exponent fit.
+
+    >>> decade_ns(1000, 1_000_000)
+    (1000, 10000, 100000, 1000000)
+    >>> decade_ns(1000, 10_000, points_per_decade=2)
+    (1000, 3162, 10000)
+    """
+    if min_n < 2:
+        raise ConfigurationError(f"decade sweep needs min_n >= 2, got {min_n}")
+    if points_per_decade < 1:
+        raise ConfigurationError(
+            f"points_per_decade must be positive, got {points_per_decade}"
+        )
+    if max_n < min_n:
+        raise ConfigurationError(
+            f"decade sweep needs max_n >= min_n, got min_n={min_n} max_n={max_n}"
+        )
+    sizes: list[int] = []
+    index = 0
+    while True:
+        value = int(round(min_n * 10.0 ** (index / points_per_decade)))
+        if value > max_n:
+            break
+        if not sizes or value != sizes[-1]:
+            sizes.append(value)
+        index += 1
+    if len(sizes) < 2:
+        raise ConfigurationError(
+            f"decade sweep from min_n={min_n} to max_n={max_n} with "
+            f"{points_per_decade} point(s) per decade yields only "
+            f"{sizes or '[]'} — raise max_n or points_per_decade so the "
+            "sweep has at least two sizes (one size cannot fit an exponent)"
+        )
+    return tuple(sizes)
+
+
+def log_sized_cliques(n: int) -> dict[str, int]:
+    """``ring_of_cliques`` parameters with clique size ``≈ log2 n``.
+
+    The ``cliques = Θ(n / log n)`` regime of the builder: the graph stays
+    sparse (``O(n log n)`` edges) at every decade while keeping the
+    single-edge inter-clique bottlenecks that make the family
+    conductance-limited.
+    """
+    if n < 2:
+        raise ConfigurationError(f"log_sized_cliques needs n >= 2, got {n}")
+    size = max(4, int(round(math.log2(n))))
+    return {"cliques": max(3, n // size)}
+
+
+def decade_sweep(
+    base: ScenarioSpec,
+    *,
+    min_n: int = 1_000,
+    max_n: int = 1_000_000,
+    points_per_decade: int = 1,
+    trials: "int | None" = None,
+    topology_params: "Callable[[int], Mapping[str, Any]] | Mapping[str, Any] | None" = None,
+) -> tuple[ScenarioSpec, ...]:
+    """One spec per decade size, derived from ``base`` by :meth:`~repro.scenarios.ScenarioSpec.replace`.
+
+    The returned specs differ from ``base`` only in ``n`` (and, when given,
+    ``trials`` and ``topology_params``); registry identity (``name``,
+    ``description``) is cleared so each campaign unit names its own decade.
+    ``topology_params`` may be a plain mapping applied at every size or a
+    callable ``params(n)`` for families whose parameters must scale with
+    ``n`` (see :func:`log_sized_cliques`).
+    """
+    specs: list[ScenarioSpec] = []
+    for n in decade_ns(min_n, max_n, points_per_decade=points_per_decade):
+        changes: dict[str, Any] = {"n": n, "name": "", "description": ""}
+        if trials is not None:
+            changes["trials"] = trials
+        if topology_params is not None:
+            params = topology_params(n) if callable(topology_params) else topology_params
+            changes["topology_params"] = tuple(sorted(dict(params).items()))
+        specs.append(base.replace(**changes))
+    return tuple(specs)

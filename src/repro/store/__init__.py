@@ -16,6 +16,7 @@ from .result_store import (
     diff_snapshots,
     iter_records,
     load_snapshot,
+    summarize_result,
 )
 
 __all__ = [
@@ -25,4 +26,5 @@ __all__ = [
     "diff_snapshots",
     "iter_records",
     "load_snapshot",
+    "summarize_result",
 ]

@@ -21,7 +21,12 @@ A store is a directory::
 
 with one JSONL shard per workload fingerprint.  Each shard starts with a
 ``spec`` record (the workload's canonical JSON, so shards are
-self-describing) followed by one ``result`` record per cached trial.  Shards
+self-describing) followed by one ``result`` record per cached trial.  Large
+asymptotic sweeps archive ``summary`` records instead — just the stopping
+time and completion flag (see :func:`summarize_result`), a few dozen bytes
+per trial regardless of ``n``, written through
+:meth:`ResultStore.put_summaries` and aggregated by
+:meth:`ResultStore.aggregate` interchangeably with full records.  Shards
 are **append-only**: a record is one ``os.write`` to a file opened with
 ``O_APPEND``, which POSIX keeps atomic for concurrent writers — two processes
 filling the same store interleave whole lines, never torn ones.  Duplicate
@@ -55,8 +60,8 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
-from ..core.results import RunResult, StoppingTimeStats, aggregate_results
-from ..errors import ReproError, StoreError
+from ..core.results import RunResult, StoppingTimeStats
+from ..errors import AnalysisError, ReproError, StoreError
 
 __all__ = [
     "ResultStore",
@@ -65,15 +70,44 @@ __all__ = [
     "iter_records",
     "load_snapshot",
     "diff_snapshots",
+    "summarize_result",
 ]
 
 #: Format tag written into export headers (and checked when reading them).
 EXPORT_FORMAT = "repro-result-store-export/v1"
 
+#: The exact keys of a streaming summary payload.  Deliberately tiny and
+#: strictly deterministic: everything here is a pure function of
+#: ``(fingerprint, seed, trial)``, so summary records obey the same
+#: conflict-on-divergence rule as full results.
+SUMMARY_KEYS = ("completed", "k", "n", "rounds", "timeslots")
+
+
+def summarize_result(result: RunResult) -> dict[str, Any]:
+    """Project a :class:`~repro.core.results.RunResult` to its summary payload.
+
+    The projection keeps exactly what stopping-time aggregation consumes
+    (``rounds``/``timeslots``/``completed``) plus the workload size for
+    self-description — no completion-round maps, message counters or
+    metadata, so a 10^5-trial shard at ``n = 10^6`` stays a few MiB.
+    """
+    return {
+        "completed": result.completed,
+        "k": result.k,
+        "n": result.n,
+        "rounds": result.rounds,
+        "timeslots": result.timeslots,
+    }
+
+
+def _project_summary(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """The summary projection of a stored full-result payload."""
+    return {key: payload[key] for key in SUMMARY_KEYS if key in payload}
+
 
 @dataclass(frozen=True)
 class StoreRecord:
-    """One parsed store line: a ``spec`` header or a ``result`` record."""
+    """One parsed store line: a ``spec`` header, a ``result`` or a ``summary``."""
 
     kind: str
     fingerprint: str
@@ -88,6 +122,7 @@ class _Shard:
 
     spec: dict[str, Any] | None = None
     results: dict[tuple[int, int], dict[str, Any]] = field(default_factory=dict)
+    summaries: dict[tuple[int, int], dict[str, Any]] = field(default_factory=dict)
     raw_records: int = 0
     dropped_partial: bool = False
 
@@ -140,6 +175,24 @@ def _parse_record(line: str, *, source: str, line_number: int) -> StoreRecord:
         return StoreRecord(
             kind="result", fingerprint=fingerprint, seed=seed, trial=trial, payload=result
         )
+    if kind == "summary":
+        fingerprint = data.get("fingerprint")
+        seed = data.get("seed")
+        trial = data.get("trial")
+        summary = data.get("summary")
+        if (
+            not isinstance(fingerprint, str)
+            or not isinstance(seed, int)
+            or not isinstance(trial, int)
+            or not isinstance(summary, dict)
+        ):
+            raise StoreError(
+                f"{source}:{line_number}: corrupt summary record (needs string "
+                "'fingerprint', integer 'seed' and 'trial', object 'summary')"
+            )
+        return StoreRecord(
+            kind="summary", fingerprint=fingerprint, seed=seed, trial=trial, payload=summary
+        )
     raise StoreError(
         f"{source}:{line_number}: corrupt store record (unknown kind {kind!r})"
     )
@@ -183,7 +236,8 @@ class StoreSnapshot:
     """A read-only image of store contents, keyed by fingerprint.
 
     ``results[fingerprint]`` maps ``(seed, trial)`` to the raw result
-    dictionary; ``specs[fingerprint]`` holds the workload's canonical JSON
+    dictionary, ``summaries[fingerprint]`` to the raw streaming-summary
+    payloads; ``specs[fingerprint]`` holds the workload's canonical JSON
     when a spec header was present.  Built by :func:`load_snapshot` from
     either a store directory or an export file — the shape the CLI's
     ``store diff`` compares.
@@ -191,6 +245,7 @@ class StoreSnapshot:
 
     specs: dict[str, dict[str, Any]] = field(default_factory=dict)
     results: dict[str, dict[tuple[int, int], dict[str, Any]]] = field(default_factory=dict)
+    summaries: dict[str, dict[tuple[int, int], dict[str, Any]]] = field(default_factory=dict)
 
     def add(self, record: StoreRecord) -> None:
         if record.kind == "spec":
@@ -198,10 +253,15 @@ class StoreSnapshot:
         elif record.kind == "result":
             bucket = self.results.setdefault(record.fingerprint, {})
             bucket.setdefault((record.seed, record.trial), dict(record.payload))
+        elif record.kind == "summary":
+            bucket = self.summaries.setdefault(record.fingerprint, {})
+            bucket.setdefault((record.seed, record.trial), dict(record.payload))
 
     @property
     def trial_count(self) -> int:
-        return sum(len(bucket) for bucket in self.results.values())
+        return sum(len(bucket) for bucket in self.results.values()) + sum(
+            len(bucket) for bucket in self.summaries.values()
+        )
 
 
 def load_snapshot(path: "str | Path") -> StoreSnapshot:
@@ -229,6 +289,10 @@ def load_snapshot(path: "str | Path") -> StoreSnapshot:
             snapshot.results[fingerprint] = {
                 key: dict(value) for key, value in shard.results.items()
             }
+            if shard.summaries:
+                snapshot.summaries[fingerprint] = {
+                    key: dict(value) for key, value in shard.summaries.items()
+                }
         return snapshot
     for record in iter_records(path):
         snapshot.add(record)
@@ -245,26 +309,46 @@ def diff_snapshots(left: StoreSnapshot, right: StoreSnapshot) -> dict[str, Any]:
     list signals non-determinism or corruption), and the count of identical
     shared records.
     """
+    # Full results and streaming summaries are compared in one unified view:
+    # per fingerprint, records keyed by (kind, seed, trial), so a store that
+    # archived a workload through put_summaries diffs against one that
+    # archived it through put_many as "trials only on one side" rather than
+    # as spurious payload divergence.
+    def _records(snapshot: StoreSnapshot) -> dict[str, dict[tuple[str, int, int], dict[str, Any]]]:
+        merged: dict[str, dict[tuple[str, int, int], dict[str, Any]]] = {}
+        for fp, bucket in snapshot.results.items():
+            view = merged.setdefault(fp, {})
+            for (seed, trial), payload in bucket.items():
+                view[("result", seed, trial)] = payload
+        for fp, bucket in snapshot.summaries.items():
+            view = merged.setdefault(fp, {})
+            for (seed, trial), payload in bucket.items():
+                view[("summary", seed, trial)] = payload
+        return merged
+
+    left_records = _records(left)
+    right_records = _records(right)
     only_left = {
-        fp: len(bucket) for fp, bucket in left.results.items() if fp not in right.results
+        fp: len(bucket) for fp, bucket in left_records.items() if fp not in right_records
     }
     only_right = {
-        fp: len(bucket) for fp, bucket in right.results.items() if fp not in left.results
+        fp: len(bucket) for fp, bucket in right_records.items() if fp not in left_records
     }
     differing: list[tuple[str, int, int]] = []
     trials_only_left: list[tuple[str, int, int]] = []
     trials_only_right: list[tuple[str, int, int]] = []
     identical = 0
-    for fp in sorted(set(left.results) & set(right.results)):
-        left_bucket = left.results[fp]
-        right_bucket = right.results[fp]
+    for fp in sorted(set(left_records) & set(right_records)):
+        left_bucket = left_records[fp]
+        right_bucket = right_records[fp]
         for key in sorted(set(left_bucket) | set(right_bucket)):
+            triple = (fp, key[1], key[2])
             if key not in right_bucket:
-                trials_only_left.append((fp, *key))
+                trials_only_left.append(triple)
             elif key not in left_bucket:
-                trials_only_right.append((fp, *key))
+                trials_only_right.append(triple)
             elif left_bucket[key] != right_bucket[key]:
-                differing.append((fp, *key))
+                differing.append(triple)
             else:
                 identical += 1
     return {
@@ -319,6 +403,17 @@ class ResultStore:
     ...     cached = spec.materialize().run_single(store=store)  # cache hit
     ...     (first == cached, store.puts, store.hits, store.missing_trials(spec))
     (True, 1, 1, [1])
+
+    Asymptotic sweeps at large ``n`` archive *streaming summary* records
+    instead — a constant-size stopping-time payload per trial — and
+    :meth:`aggregate` consumes either kind:
+
+    >>> summary = {"completed": True, "k": 2, "n": 8, "rounds": 7, "timeslots": 7}
+    >>> with tempfile.TemporaryDirectory() as root:
+    ...     store = ResultStore(root)
+    ...     new = store.put_summaries(spec, {0: summary, 1: summary})
+    ...     (new, store.missing_summary_trials(spec), round(store.aggregate(spec).mean, 1))
+    (2, [], 7.0)
     """
 
     def __init__(
@@ -471,6 +566,8 @@ class ResultStore:
                         shard.spec = dict(record.payload)
                 elif record.kind == "result":
                     shard.results.setdefault((record.seed, record.trial), dict(record.payload))
+                elif record.kind == "summary":
+                    shard.summaries.setdefault((record.seed, record.trial), dict(record.payload))
         self._cache[fingerprint] = shard
         return shard
 
@@ -612,6 +709,108 @@ class ResultStore:
             out[trial] = self._decode_result(fingerprint, (record_seed, trial), payload)
         return out
 
+    def summaries(
+        self,
+        spec_or_fingerprint: Any,
+        trials: "int | None" = None,
+        *,
+        seed: "int | None" = None,
+    ) -> dict[int, dict[str, Any]]:
+        """Every cached summary payload (full results project down transparently).
+
+        A trial archived as a full ``result`` record is returned as its
+        :func:`summarize_result` projection, so callers that only need
+        stopping times see one uniform shape regardless of how the trials
+        were archived.
+        """
+        fingerprint, spec = self._key(spec_or_fingerprint)
+        if trials is None and spec is not None:
+            trials = spec.trials
+        effective_seed = self._seed_for(spec, seed)
+        shard = self._load(fingerprint)
+        out: dict[int, dict[str, Any]] = {}
+        for bucket, project in ((shard.results, True), (shard.summaries, False)):
+            for (record_seed, trial), payload in bucket.items():
+                if record_seed != effective_seed:
+                    continue
+                if trials is not None and not 0 <= trial < trials:
+                    continue
+                if trial not in out:
+                    out[trial] = _project_summary(payload) if project else dict(payload)
+        return out
+
+    def missing_summary_trials(
+        self,
+        spec: Any,
+        trials: "int | None" = None,
+        *,
+        seed: "int | None" = None,
+    ) -> list[int]:
+        """Trial indices of ``range(trials)`` with neither a result nor a summary."""
+        fingerprint, resolved = self._key(spec)
+        if trials is None:
+            if resolved is None:
+                raise StoreError(
+                    "missing_summary_trials needs an explicit trial count "
+                    "when addressing by bare fingerprint"
+                )
+            trials = resolved.trials
+        effective_seed = self._seed_for(resolved, seed)
+        shard = self._load(fingerprint)
+        return [
+            t
+            for t in range(trials)
+            if (effective_seed, t) not in shard.results
+            and (effective_seed, t) not in shard.summaries
+        ]
+
+    def _iter_shard_records(self, fingerprint: str) -> Iterator[StoreRecord]:
+        """Stream one shard's committed records without materialising it.
+
+        Used by :meth:`aggregate` so that a 10^5-record summary shard never
+        holds more than one parsed line in memory.  The trailing
+        unterminated line of a writer killed mid-append is skipped, never
+        repaired — this is a read-only pass and must not modify the file.
+        Records come back in file order; first-record-wins deduplication is
+        the caller's job.
+        """
+        path = self._shard_path(fingerprint)
+        if not path.exists():
+            return
+        source = str(path)
+        with open(path, "r", encoding="utf-8", newline="") as handle:
+            for number, line in enumerate(handle, start=1):
+                if not line.endswith("\n"):
+                    break
+                if not line.strip():
+                    continue
+                record = _parse_record(line, source=source, line_number=number)
+                if record.fingerprint != fingerprint:
+                    raise StoreError(
+                        f"{path}: record fingerprint {record.fingerprint[:12]}... "
+                        f"does not match its shard {fingerprint[:12]}..."
+                    )
+                yield record
+
+    @staticmethod
+    def _stopping_value(
+        source: str, key: tuple[int, int], payload: Mapping[str, Any]
+    ) -> tuple[float, bool]:
+        """Extract ``(rounds, completed)`` from a result or summary payload."""
+        rounds = payload.get("rounds")
+        completed = payload.get("completed")
+        if (
+            isinstance(rounds, bool)
+            or not isinstance(rounds, (int, float))
+            or not isinstance(completed, bool)
+        ):
+            seed, trial = key
+            raise StoreError(
+                f"{source}: corrupt result payload for seed={seed} "
+                f"trial={trial}: needs numeric 'rounds' and boolean 'completed'"
+            )
+        return float(rounds), completed
+
     def aggregate(
         self,
         spec_or_fingerprint: Any,
@@ -620,6 +819,16 @@ class ResultStore:
         seed: "int | None" = None,
     ) -> StoppingTimeStats:
         """Stopping-time statistics over cached trials ``0 .. trials-1``.
+
+        Consumes full ``result`` records and streaming ``summary`` records
+        interchangeably, and **streams**: only the scalar
+        ``(rounds, completed)`` pair of each trial is ever held — a shard
+        not already resident in this instance's cache is read line by line
+        without populating the cache, so aggregating a 10^5-trial summary
+        shard costs O(trials) floats, not O(shard bytes) of decoded
+        :class:`~repro.core.results.RunResult` objects.  The samples are
+        assembled in trial-index order, exactly as the materialising path
+        always did, so the statistics are bit-identical.
 
         Raises :class:`StoreError` naming the missing indices when the store
         does not hold the full trial range — an aggregate over a partial
@@ -633,15 +842,55 @@ class ResultStore:
                     "by bare fingerprint"
                 )
             trials = spec.trials
-        cached = self.results(spec_or_fingerprint, trials, seed=seed)
-        missing = [t for t in range(trials) if t not in cached]
+        effective_seed = self._seed_for(spec, seed)
+        source = str(self._shard_path(fingerprint))
+        values: dict[int, tuple[float, bool]] = {}
+        shard = self._cache.get(fingerprint)
+        if shard is not None:
+            # Already resident: read the scalar pair straight off the cached
+            # payload dictionaries (full results first — both kinds agree by
+            # the conflict invariant, so priority only breaks exact ties).
+            for bucket in (shard.results, shard.summaries):
+                for (record_seed, trial), payload in bucket.items():
+                    if record_seed != effective_seed or not 0 <= trial < trials:
+                        continue
+                    if trial not in values:
+                        values[trial] = self._stopping_value(
+                            source, (record_seed, trial), payload
+                        )
+        else:
+            for record in self._iter_shard_records(fingerprint):
+                if record.kind not in ("result", "summary"):
+                    continue
+                if record.seed != effective_seed or not 0 <= record.trial < trials:
+                    continue
+                if record.trial not in values:
+                    values[record.trial] = self._stopping_value(
+                        source, (record.seed, record.trial), record.payload
+                    )
+        missing = [t for t in range(trials) if t not in values]
         if missing:
             raise StoreError(
-                f"store {self.root} holds {len(cached)}/{trials} trials for "
+                f"store {self.root} holds {len(values)}/{trials} trials for "
                 f"{fingerprint[:12]}...; missing trial indices {missing[:8]}"
                 f"{'...' if len(missing) > 8 else ''}"
             )
-        return aggregate_results(cached[t] for t in range(trials))
+        samples: list[float] = []
+        incomplete = 0
+        for trial in range(trials):
+            rounds, completed = values[trial]
+            if completed:
+                samples.append(rounds)
+            else:
+                incomplete += 1
+        if not samples:
+            # The exact message aggregate_results raises, so callers see one
+            # error regardless of which path aggregated.
+            raise AnalysisError(
+                "no completed trials to aggregate; "
+                f"{incomplete} trials hit the round limit"
+            )
+        return StoppingTimeStats(samples=tuple(samples), incomplete_trials=incomplete)
 
     # ------------------------------------------------------------------
     # Writing
@@ -669,6 +918,21 @@ class ResultStore:
                 "seed": int(seed),
                 "trial": int(trial),
                 "result": dict(payload),
+            }
+        )
+
+    @classmethod
+    def _summary_line(
+        cls, fingerprint: str, seed: int, trial: int, payload: Mapping[str, Any]
+    ) -> str:
+        """The encoded streaming-summary record (one schema, every writer)."""
+        return cls._encode(
+            {
+                "kind": "summary",
+                "fingerprint": fingerprint,
+                "seed": int(seed),
+                "trial": int(trial),
+                "summary": dict(payload),
             }
         )
 
@@ -761,6 +1025,18 @@ class ResultStore:
                         "new store) to re-archive"
                     )
                 continue
+            summary = shard.summaries.get(key)
+            if summary is not None and summary != _project_summary(payload):
+                # A summary archived for this key is the same trial's
+                # projection by determinism; a full result that disagrees
+                # with it is the same divergence put_many refuses above.
+                raise StoreError(
+                    f"store {self.root} already holds a summary that "
+                    f"contradicts this result for {fingerprint[:12]}... "
+                    f"seed={effective_seed} trial={trial}; the workload's "
+                    "behaviour has changed since it was archived — gc the "
+                    "shard (or point at a new store) to re-archive"
+                )
             staged.append((key, payload))
             lines.append(self._result_line(fingerprint, effective_seed, trial, payload))
         if lines:
@@ -772,6 +1048,84 @@ class ResultStore:
                 shard.spec = new_spec
             for key, payload in staged:
                 shard.results[key] = payload
+        self.puts += len(staged)
+        return len(staged)
+
+    def put_summaries(
+        self,
+        spec: Any,
+        summaries_by_trial: "Mapping[int, Mapping[str, Any] | RunResult]",
+        *,
+        seed: "int | None" = None,
+    ) -> int:
+        """Persist streaming summary records; returns how many were new.
+
+        Values may be full :class:`~repro.core.results.RunResult` objects
+        (projected via :func:`summarize_result`) or ready-made summary
+        payloads carrying exactly the :data:`SUMMARY_KEYS`.  The conflict
+        rules mirror :meth:`put_many`: a key already covered — by an
+        identical summary, *or* by a full result whose projection matches —
+        is skipped without writing, and any divergence raises
+        :class:`StoreError`, so a ``fresh`` rerun through the summary path
+        re-verifies the archive exactly like the full-record path does.
+        """
+        fingerprint, resolved = self._key(spec)
+        if resolved is None:
+            raise StoreError(
+                "put requires the full ScenarioSpec (shards are self-describing); "
+                "got a bare fingerprint"
+            )
+        effective_seed = self._seed_for(resolved, seed)
+        shard = self._load(fingerprint)
+        lines: list[str] = []
+        new_spec: "dict[str, Any] | None" = None
+        if shard.spec is None:
+            new_spec = resolved.to_dict()
+            lines.append(self._spec_line(fingerprint, new_spec))
+        staged: list[tuple[tuple[int, int], dict[str, Any]]] = []
+        for trial, value in sorted(summaries_by_trial.items()):
+            key = (effective_seed, int(trial))
+            if isinstance(value, RunResult):
+                payload = summarize_result(value)
+            else:
+                payload = {k: value[k] for k in sorted(value)}
+                if tuple(sorted(payload)) != SUMMARY_KEYS:
+                    raise StoreError(
+                        f"a summary payload carries exactly {list(SUMMARY_KEYS)}; "
+                        f"got keys {sorted(payload)} for trial {trial}"
+                    )
+            full = shard.results.get(key)
+            if full is not None:
+                if _project_summary(full) != payload:
+                    raise StoreError(
+                        f"store {self.root} already holds a full result that "
+                        f"contradicts this summary for {fingerprint[:12]}... "
+                        f"seed={effective_seed} trial={trial}; the workload's "
+                        "behaviour has changed since it was archived — gc the "
+                        "shard (or point at a new store) to re-archive"
+                    )
+                continue  # the full record already covers this trial
+            stored = shard.summaries.get(key)
+            if stored is not None:
+                if stored != payload:
+                    raise StoreError(
+                        f"store {self.root} already holds a different summary "
+                        f"for {fingerprint[:12]}... seed={effective_seed} "
+                        f"trial={trial}; the workload's behaviour has changed "
+                        "since it was archived — gc the shard (or point at a "
+                        "new store) to re-archive"
+                    )
+                continue
+            staged.append((key, payload))
+            lines.append(self._summary_line(fingerprint, effective_seed, trial, payload))
+        if lines:
+            # Disk first, memory second (see put_many).
+            self._append(fingerprint, lines)
+            shard.raw_records += len(lines)
+            if new_spec is not None:
+                shard.spec = new_spec
+            for key, payload in staged:
+                shard.summaries[key] = payload
         self.puts += len(staged)
         return len(staged)
 
@@ -805,8 +1159,9 @@ class ResultStore:
         return ScenarioSpec.from_dict(payload)
 
     def trial_keys(self, fingerprint: str) -> list[tuple[int, int]]:
-        """Sorted ``(seed, trial)`` keys cached for one fingerprint."""
-        return sorted(self._load(fingerprint).results)
+        """Sorted ``(seed, trial)`` keys cached for one fingerprint (either kind)."""
+        shard = self._load(fingerprint)
+        return sorted(set(shard.results) | set(shard.summaries))
 
     def resolve_fingerprint(self, prefix: str) -> str:
         """Expand a unique fingerprint prefix (as the CLI accepts) to the full hash."""
@@ -878,6 +1233,14 @@ class ResultStore:
                     lines.append(
                         self._result_line(fingerprint, record_seed, trial, payload)
                     )
+                for (record_seed, trial), payload in sorted(shard.summaries.items()):
+                    if (record_seed, trial) in shard.results:
+                        # Shadowed by the richer full record (identical by the
+                        # conflict invariant): compacting drops the duplicate.
+                        continue
+                    lines.append(
+                        self._summary_line(fingerprint, record_seed, trial, payload)
+                    )
                 temp_path = path.with_suffix(".jsonl.tmp")
                 temp_path.write_text(
                     "".join(f"{line}\n" for line in lines), encoding="utf-8"
@@ -917,6 +1280,9 @@ class ResultStore:
             for (record_seed, trial), payload in sorted(shard.results.items()):
                 lines.append(self._result_line(fingerprint, record_seed, trial, payload))
                 exported += 1
+            for (record_seed, trial), payload in sorted(shard.summaries.items()):
+                lines.append(self._summary_line(fingerprint, record_seed, trial, payload))
+                exported += 1
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text("".join(f"{line}\n" for line in lines), encoding="utf-8")
         return exported
@@ -935,7 +1301,24 @@ class ResultStore:
         pending_specs: dict[str, dict[str, Any]] = {}
         pending_lines: dict[str, list[str]] = {}
         staged: dict[str, dict[tuple[int, int], dict[str, Any]]] = {}
+        staged_summaries: dict[str, dict[tuple[int, int], dict[str, Any]]] = {}
         staged_specs: dict[str, dict[str, Any]] = {}
+
+        def _conflict(record: StoreRecord) -> StoreError:
+            return StoreError(
+                f"import of {path} conflicts with store {self.root}: "
+                f"different {record.kind} for {record.fingerprint[:12]}... "
+                f"seed={record.seed} trial={record.trial} (the two "
+                "archives were written by diverging simulation code)"
+            )
+
+        def _stage_spec(record: StoreRecord, shard: _Shard, lines: list[str]) -> None:
+            if shard.spec is None and record.fingerprint not in staged_specs:
+                spec_payload = pending_specs.get(record.fingerprint)
+                if spec_payload is not None:
+                    staged_specs[record.fingerprint] = spec_payload
+                    lines.append(self._spec_line(record.fingerprint, spec_payload))
+
         for record in iter_records(path):
             if record.kind == "spec":
                 pending_specs[record.fingerprint] = dict(record.payload)
@@ -943,30 +1326,55 @@ class ResultStore:
             shard = self._load(record.fingerprint)
             key = (record.seed, record.trial)
             payload = dict(record.payload)
+            if record.kind == "summary":
+                full = shard.results.get(key)
+                if full is None:
+                    full = staged.get(record.fingerprint, {}).get(key)
+                if full is not None:
+                    # A local (or just-imported) full result covers this
+                    # trial; the incoming summary must be its projection.
+                    if _project_summary(full) != payload:
+                        raise _conflict(record)
+                    continue
+                stored = shard.summaries.get(key)
+                if stored is not None:
+                    if stored != payload:
+                        raise _conflict(record)
+                    continue
+                shard_staged = staged_summaries.setdefault(record.fingerprint, {})
+                if key in shard_staged:
+                    if shard_staged[key] != payload:
+                        raise _conflict(record)
+                    continue
+                lines = pending_lines.setdefault(record.fingerprint, [])
+                _stage_spec(record, shard, lines)
+                shard_staged[key] = payload
+                lines.append(
+                    self._summary_line(record.fingerprint, record.seed, record.trial, payload)
+                )
+                continue
             stored = shard.results.get(key)
             if stored is not None:
                 if stored != payload:
-                    raise StoreError(
-                        f"import of {path} conflicts with store {self.root}: "
-                        f"different result for {record.fingerprint[:12]}... "
-                        f"seed={record.seed} trial={record.trial} (the two "
-                        "archives were written by diverging simulation code)"
-                    )
+                    raise _conflict(record)
                 continue
+            summary = shard.summaries.get(key)
+            if summary is None:
+                summary = staged_summaries.get(record.fingerprint, {}).get(key)
+            if summary is not None and summary != _project_summary(payload):
+                raise _conflict(record)
             shard_staged = staged.setdefault(record.fingerprint, {})
             if key in shard_staged:
                 continue
             lines = pending_lines.setdefault(record.fingerprint, [])
-            if shard.spec is None and record.fingerprint not in staged_specs:
-                spec_payload = pending_specs.get(record.fingerprint)
-                if spec_payload is not None:
-                    staged_specs[record.fingerprint] = spec_payload
-                    lines.append(self._spec_line(record.fingerprint, spec_payload))
+            _stage_spec(record, shard, lines)
             shard_staged[key] = payload
             lines.append(
                 self._result_line(record.fingerprint, record.seed, record.trial, payload)
             )
-        imported = sum(len(entries) for entries in staged.values())
+        imported = sum(len(entries) for entries in staged.values()) + sum(
+            len(entries) for entries in staged_summaries.values()
+        )
         for fingerprint, lines in pending_lines.items():
             if not lines:
                 continue
@@ -977,5 +1385,6 @@ class ResultStore:
             if fingerprint in staged_specs:
                 shard.spec = staged_specs[fingerprint]
             shard.results.update(staged.get(fingerprint, {}))
+            shard.summaries.update(staged_summaries.get(fingerprint, {}))
         self.puts += imported
         return imported
